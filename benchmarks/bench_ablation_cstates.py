@@ -1,0 +1,53 @@
+"""Ablation: how much of Dimetrodon's benefit comes from C1E?
+
+The paper's platform enters the C1E low-power state during injected
+idle (§3.2).  Disabling it (idle stops at shallow C1) quantifies the
+share of cooling attributable to the deep state — and exercises the
+§2.1 claim that injection retains *some* value without low-power idle
+states (the SPIN/nop-loop mode is the extreme version).
+"""
+
+import pytest
+
+from repro.core import IdleMode
+from repro.experiments.machine import Machine
+from repro.experiments.runner import make_cpu_workload
+from repro.instruments.stats import relative_reduction
+
+
+def run(config, *, p=0.0, c1e=True, idle_mode=IdleMode.HALT):
+    machine = Machine(config.scaled(c1e_enabled=c1e), idle_mode=idle_mode)
+    if p:
+        machine.control.set_global_policy(p, 0.025)
+    for _ in range(config.num_cores):
+        machine.scheduler.spawn(make_cpu_workload("cpuburn"))
+    machine.run(config.characterization_duration)
+    return machine
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_c1e_contribution(benchmark, config, show):
+    def experiment():
+        base = run(config)
+        base_temp = base.mean_core_temp_over_window()
+        floor = base.idle_mean_temp
+        results = {}
+        for label, kwargs in (
+            ("halt+C1E", dict(c1e=True)),
+            ("halt only (no C1E)", dict(c1e=False)),
+            ("nop spin loop", dict(c1e=True, idle_mode=IdleMode.SPIN)),
+        ):
+            machine = run(config, p=0.5, **kwargs)
+            results[label] = relative_reduction(
+                base_temp, machine.mean_core_temp_over_window(), floor
+            )
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    lines = "\n".join(f"{k:24s} temp reduction {v * 100:.1f}%" for k, v in results.items())
+    show(lines, "Ablation — idle-state depth (p=0.5, L=25ms)")
+
+    # Deep idle does most of the work; shallow halt is clearly weaker
+    # but still cools; a nop loop cools least but is not useless.
+    assert results["halt+C1E"] > results["halt only (no C1E)"] > results["nop spin loop"]
+    assert results["nop spin loop"] > 0.03

@@ -1,0 +1,49 @@
+"""Ablation: leakage-feedback strength vs Pareto convexity.
+
+DESIGN.md identifies leakage-temperature feedback as the nonlinearity
+behind the convex T(r) = α·r^β frontier.  This bench sweeps the leakage
+temperature slope (°C per e-fold): a weaker feedback (larger slope)
+must flatten the fitted β toward 1.
+"""
+
+import pytest
+
+from repro.core.pareto import TradeoffPoint, fit_power_law
+from repro.experiments.runner import run_characterization
+from repro.units import MS
+
+PROBE = ((0.3, 2.0), (0.5, 5.0), (0.75, 10.0), (0.75, 25.0), (0.9, 50.0), (0.9, 100.0))
+
+
+def frontier_beta(config):
+    base = run_characterization(config)
+    points = []
+    for p, l_ms in PROBE:
+        run = run_characterization(config, p=p, idle_quantum=l_ms * MS)
+        r = (base.mean_temp - run.mean_temp) / (base.mean_temp - base.idle_temp)
+        t = 1.0 - run.work / base.work
+        points.append(TradeoffPoint(r, t, {"p": p, "L_ms": l_ms}))
+    return fit_power_law(points, r_max=0.95).beta
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_leakage_feedback_drives_convexity(benchmark, config, show):
+    def experiment():
+        betas = {}
+        for slope in (11.5, 23.0, 46.0):
+            cfg = config.scaled(power=config.power.with_leakage_slope(slope))
+            betas[slope] = frontier_beta(cfg)
+        return betas
+
+    betas = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    lines = "\n".join(
+        f"leak slope {slope:5.1f} C/e-fold -> beta {beta:.3f}"
+        for slope, beta in betas.items()
+    )
+    show(lines, "Ablation — leakage feedback strength vs Pareto exponent")
+
+    slopes = sorted(betas)
+    # Weaker feedback (larger slope) flattens the frontier.
+    assert betas[slopes[0]] > betas[slopes[1]] > betas[slopes[2]]
+    assert betas[slopes[0]] > 1.3
+    assert betas[slopes[2]] < 1.25

@@ -1,0 +1,36 @@
+"""Figure 3: efficiency vs idle quantum length.
+
+Paper: "short idle quanta lengths are particularly efficient, but there
+are diminishing marginal returns for longer quanta lengths"; higher-p
+curves sit lower.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import fig3_efficiency
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_efficiency(benchmark, config, show):
+    result = benchmark.pedantic(lambda: fig3_efficiency(config), rounds=1, iterations=1)
+    show(result, "Figure 3 — efficiency (temp:throughput) vs quantum length")
+
+    for p in (0.25, 0.5, 0.75):
+        curve = result.curve(p)
+        lengths = [l for l, _ in curve]
+        effs = [e for _, e in curve]
+        # Diminishing marginal benefit: the long-L end is clearly worse
+        # than the best short-L configuration.
+        best = max(effs)
+        assert effs[lengths.index(max(lengths))] < 0.75 * best
+        # The optimum sits at small L (paper: "order of one ms").
+        best_l = lengths[int(np.argmax(effs))]
+        assert best_l <= 10.0
+        # Everything stays at or above the 1:1 reference line.
+        assert min(effs) >= 0.95
+
+    # Higher p is less efficient at equal L (Figure 3's curve stack),
+    # comparing at a mid-length where all curves are well-resolved.
+    eff_at_25 = {p: dict(result.curve(p))[25.0] for p in (0.25, 0.5, 0.75)}
+    assert eff_at_25[0.25] > eff_at_25[0.5] > eff_at_25[0.75]

@@ -1,0 +1,55 @@
+"""Figure 4: wide-range sweeps — Dimetrodon vs VFS vs p4tcc.
+
+Paper: Dimetrodon wins temperature reductions up to ~30 %, beyond which
+VFS's quadratic power advantage takes over (its deepest setting turns a
+30 % throughput reduction into a ~50 % temperature reduction); p4tcc
+fails to reach even 1:1 at high reductions.
+"""
+
+import pytest
+
+from repro.core.pareto import interpolate_boundary, pareto_boundary
+from repro.experiments.figures import fig4_technique_comparison
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_technique_comparison(benchmark, config, show):
+    result = benchmark.pedantic(
+        lambda: fig4_technique_comparison(config), rounds=1, iterations=1
+    )
+    show(result, "Figure 4 — Dimetrodon vs VFS vs p4tcc")
+
+    # Dimetrodon's Pareto fit is convex (paper: alpha=1.092, beta=1.541).
+    assert 1.2 < result.fit.beta < 1.8
+    assert 0.8 < result.fit.alpha < 1.3
+
+    # The VFS crossover lands in the paper's neighbourhood (~30%).
+    assert result.crossover is not None
+    assert 0.10 < result.crossover < 0.40
+
+    # VFS deepest setting: ~29% throughput for ~half the temperature.
+    vfs_boundary = pareto_boundary(result.vfs.points)
+    deepest = max(vfs_boundary, key=lambda q: q.throughput_reduction)
+    assert deepest.throughput_reduction == pytest.approx(0.294, abs=0.02)
+    assert 0.40 < deepest.temp_reduction < 0.62
+
+    # Below the crossover Dimetrodon's boundary is cheaper than VFS's.
+    r_probe = result.crossover * 0.7
+    dim_cost = interpolate_boundary(result.dimetrodon.points, r_probe)
+    vfs_cost = interpolate_boundary(result.vfs.points, r_probe)
+    if dim_cost is not None and vfs_cost is not None:
+        assert dim_cost < vfs_cost
+
+    # p4tcc: below 1:1 at high reductions, dominated by Dimetrodon.
+    tcc_boundary = pareto_boundary(result.tcc.points)
+    deep_tcc = [q for q in tcc_boundary if q.temp_reduction > 0.6]
+    assert deep_tcc
+    assert all(q.efficiency < 1.0 for q in deep_tcc)
+    # Its efficiency degrades monotonically as modulation deepens
+    # (boundary is sorted by increasing temperature reduction).
+    effs_by_depth = [q.efficiency for q in tcc_boundary]
+    assert effs_by_depth == sorted(effs_by_depth, reverse=True)
+    for q in tcc_boundary:
+        dim_cost = interpolate_boundary(result.dimetrodon.points, q.temp_reduction)
+        if dim_cost is not None:
+            assert dim_cost < q.throughput_reduction

@@ -1,0 +1,78 @@
+"""Extension: heat-and-run core migration vs idle injection (§4, §3.6).
+
+The paper calls multicore migration orthogonal-but-complementary, and
+§3.6 names its limit: "migrate threads between cores ... may be
+ineffective on fully-burdened machines."  This bench measures both
+regimes and shows why per-thread injection still matters: on a full
+machine only injection can trade throughput for temperature.
+"""
+
+import pytest
+
+from repro.core import ThermalMigrationPolicy
+from repro.experiments.machine import Machine
+from repro.experiments.runner import make_cpu_workload
+
+
+def run(config, *, hot_cores, migrate=False, inject=None):
+    machine = Machine(config)
+    for core in hot_cores:
+        thread = machine.scheduler.spawn(make_cpu_workload("cpuburn"), name=f"hot-{core}")
+        thread.affinity = core
+    policy = None
+    if migrate:
+        policy = ThermalMigrationPolicy(
+            machine.sim, machine.scheduler, lambda: machine.core_temps,
+            period=1.0, min_delta=0.5,
+        )
+    if inject is not None:
+        machine.control.set_global_policy(*inject)
+    machine.run(config.characterization_duration)
+    per_core = machine.templog.per_core_mean_over_window(config.measure_window)
+    return {
+        "peak": float(per_core.max()),
+        "mean": float(per_core.mean()),
+        "work": machine.total_work_done(),
+        "migrations": policy.migrations if policy else 0,
+        "blocked": policy.blocked_periods if policy else 0,
+    }
+
+
+@pytest.mark.benchmark(group="migration")
+def test_migration_vs_injection(benchmark, config, show):
+    def experiment():
+        half = [0, 1]
+        full = [0, 1, 2, 3]
+        return {
+            "half-load pinned": run(config, hot_cores=half),
+            "half-load migrate": run(config, hot_cores=half, migrate=True),
+            "full-load pinned": run(config, hot_cores=full),
+            "full-load migrate": run(config, hot_cores=full, migrate=True),
+            "full-load inject": run(config, hot_cores=full, inject=(0.5, 0.01)),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    lines = [
+        f"{label:>18s}: peak {r['peak']:6.2f}C  mean {r['mean']:6.2f}C  "
+        f"work {r['work']:6.1f}s  migrations {r['migrations']:4d}  "
+        f"blocked {r['blocked']:3d}"
+        for label, r in results.items()
+    ]
+    show("\n".join(lines), "Heat-and-run migration vs idle injection")
+
+    # Half load: migration spreads heat, lowering the peak core
+    # temperature at (essentially) no throughput cost.
+    assert results["half-load migrate"]["peak"] < results["half-load pinned"]["peak"] - 0.5
+    assert results["half-load migrate"]["work"] == pytest.approx(
+        results["half-load pinned"]["work"], rel=0.02
+    )
+
+    # Full load: no idle target exists; migration does nothing (§3.6).
+    assert results["full-load migrate"]["migrations"] == 0
+    assert results["full-load migrate"]["blocked"] > 10
+    assert results["full-load migrate"]["peak"] == pytest.approx(
+        results["full-load pinned"]["peak"], abs=0.5
+    )
+
+    # Injection still works on the fully-burdened machine.
+    assert results["full-load inject"]["mean"] < results["full-load pinned"]["mean"] - 2.0

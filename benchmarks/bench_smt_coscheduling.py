@@ -1,0 +1,67 @@
+"""Extension: SMT idle-quantum co-scheduling (§3.2, unevaluated in paper).
+
+The paper disables SMT because "in order to cause the entire core to
+enter the C1E low power state we need to halt all thread contexts on
+the core. This is feasible but requires additional care in
+co-scheduling idle quanta."  This bench performs that co-scheduling and
+quantifies why it is necessary: naive injection on an SMT machine almost
+never halts a whole core, so it pays the throughput cost of injection
+with almost no thermal return.
+"""
+
+import pytest
+
+from repro.cpu import CState
+from repro.experiments.machine import Machine
+from repro.experiments.runner import make_cpu_workload
+from repro.instruments.stats import relative_reduction
+
+
+def run(config, *, p, co_schedule):
+    machine = Machine(config.scaled(smt=2), co_schedule_smt=co_schedule)
+    if p:
+        machine.control.set_global_policy(p, 0.025)
+    for i in range(config.num_cores * 2):
+        machine.scheduler.spawn(make_cpu_workload("cpuburn"), name=f"burn-{i}")
+    machine.run(config.characterization_duration)
+    deep = sum(core.residency.get(CState.C1E) for core in machine.chip.cores)
+    total = sum(core.residency.total() for core in machine.chip.cores)
+    return machine, deep / total
+
+
+@pytest.mark.benchmark(group="smt")
+def test_smt_co_scheduling(benchmark, config, show):
+    def experiment():
+        base, base_deep = run(config, p=0.0, co_schedule=False)
+        base_temp = base.mean_core_temp_over_window()
+        floor = base.idle_mean_temp
+        out = {"baseline": (0.0, 0.0, base_deep, base.total_work_done())}
+        for label, co in (("naive", False), ("co-scheduled", True)):
+            machine, deep = run(config, p=0.5, co_schedule=co)
+            r = relative_reduction(
+                base_temp, machine.mean_core_temp_over_window(), floor
+            )
+            t = 1.0 - machine.total_work_done() / base.total_work_done()
+            out[label] = (r, t, deep, machine.total_work_done())
+        return out
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    lines = "\n".join(
+        f"{label:>13s}: temp red. {r * 100:5.1f}%  tput red. {t * 100:5.1f}%  "
+        f"C1E residency {deep * 100:5.1f}%"
+        for label, (r, t, deep, _) in results.items()
+    )
+    show(lines, "SMT: naive vs co-scheduled idle injection (p=0.5, L=25ms)")
+
+    naive_r, naive_t, naive_deep, _ = results["naive"]
+    co_r, co_t, co_deep, _ = results["co-scheduled"]
+    # Naive injection: real throughput cost, almost no deep-idle time.
+    assert naive_t > 0.05
+    assert naive_deep < 0.10
+    assert naive_r < 0.25
+    # Co-scheduling: whole cores halt, large thermal return.
+    assert co_deep > 3 * max(naive_deep, 0.01)
+    assert co_r > 3 * max(naive_r, 0.02)
+    # Co-scheduling costs extra throughput (siblings idle too) but its
+    # efficiency is transformed.
+    assert co_r / co_t > 2 * (naive_r / naive_t)

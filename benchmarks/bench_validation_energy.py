@@ -1,0 +1,24 @@
+"""§3.3 energy model validation.
+
+Paper: over equal windows, Dimetrodon consumed between 97.6% and
+103.7% of race-to-idle's energy (mean deviation -0.37%, mean absolute
+deviation 1.67%) — the §2.2 identity that moving idle cycles between
+compute quanta preserves total energy.
+"""
+
+import pytest
+
+from repro.experiments.tables import validate_energy_model
+
+
+@pytest.mark.benchmark(group="validation")
+def test_energy_model_validation(benchmark, config, show):
+    result = benchmark.pedantic(
+        lambda: validate_energy_model(config), rounds=1, iterations=1
+    )
+    show(result, "§3.3 — energy validation (Dimetrodon vs race-to-idle)")
+
+    for row in result.rows:
+        assert 0.95 < row.ratio < 1.05, (row.p, row.l_ms)
+    assert abs(result.mean_deviation) < 0.04
+    assert result.mean_abs_deviation < 0.04

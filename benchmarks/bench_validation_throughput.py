@@ -1,0 +1,25 @@
+"""§3.3 throughput model validation.
+
+Paper: over 100 trials per configuration (p ∈ {.25, .5, .75},
+L ∈ {25, 50, 75, 100} ms), measured throughput was on average 1.0%
+below the D(t) = R + S·(p/(1-p))·L prediction, attributed to context
+switching and state monitoring overheads.
+"""
+
+import pytest
+
+from repro.experiments.tables import validate_throughput_model
+
+
+@pytest.mark.benchmark(group="validation")
+def test_throughput_model_validation(benchmark, config, show):
+    result = benchmark.pedantic(
+        lambda: validate_throughput_model(config), rounds=1, iterations=1
+    )
+    show(result, "§3.3 — throughput model validation")
+
+    # Every configuration within a few % of the model; the residual is
+    # dominated by the geometric variance of the Bernoulli idle counts.
+    for row in result.rows:
+        assert abs(row.deviation) < 0.07, (row.p, row.l_ms)
+    assert abs(result.mean_deviation) < 0.03

@@ -1,0 +1,33 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the same rows/series the paper reports (run pytest with ``-s`` to see
+them).  By default the CI-friendly fast configuration is used; set
+``REPRO_FULL=1`` for paper-faithful 300 s runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import default_config
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The experiment configuration shared by all benchmarks."""
+    return default_config(seed=0)
+
+
+@pytest.fixture
+def show():
+    """Print a rendered experiment result, clearly delimited."""
+
+    def _show(result, header: str) -> None:
+        print()
+        print("=" * 72)
+        print(header)
+        print("=" * 72)
+        print(result.render() if hasattr(result, "render") else result)
+
+    return _show

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Dimetrodon vs hardware techniques (a compact Figure 4).
+
+Sweeps a small idle-injection grid, every DVFS operating point, and the
+p4tcc clock-modulation ladder on identical cpuburn load, then prints
+each technique's Pareto boundary and the Dimetrodon/VFS crossover.
+
+Run:  python examples/compare_techniques.py
+"""
+
+from repro import fast_config, fit_power_law, pareto_boundary, sweep_dimetrodon, sweep_tcc, sweep_vfs
+from repro.core.pareto import crossover_reduction
+
+
+def print_boundary(name, points):
+    print(f"\n{name} pareto boundary:")
+    print(f"  {'config':<26s} {'temp red.':>10s} {'tput red.':>10s} {'eff':>6s}")
+    for pt in pareto_boundary(points):
+        config = ", ".join(f"{k}={v:g}" for k, v in pt.params.items())
+        print(
+            f"  {config:<26s} {pt.temp_reduction * 100:9.1f}% "
+            f"{pt.throughput_reduction * 100:9.1f}% {pt.efficiency:6.2f}"
+        )
+
+
+def main() -> None:
+    config = fast_config()
+    print("Sweeping three thermal-management techniques on 4x cpuburn...")
+
+    dim = sweep_dimetrodon(
+        config, ps=(0.25, 0.5, 0.75, 0.9), ls_ms=(2.0, 10.0, 50.0, 100.0)
+    )
+    vfs = sweep_vfs(config)
+    tcc = sweep_tcc(config)
+
+    print_boundary("Dimetrodon (idle injection)", dim.points)
+    print_boundary("VFS (voltage/frequency scaling)", vfs.points)
+    print_boundary("p4tcc (clock duty modulation)", tcc.points)
+
+    fit = fit_power_law(dim.points, r_max=0.95)
+    print(f"\nDimetrodon frontier fit: {fit.describe()}")
+    print("  (paper, cpuburn: alpha=1.092, beta=1.541)")
+
+    crossover = crossover_reduction(dim.points, vfs.points)
+    if crossover is not None:
+        print(
+            f"\nVFS overtakes idle injection at a temperature reduction of "
+            f"{crossover * 100:.0f}% (paper: ~30%)."
+        )
+    print(
+        "p4tcc gates the clock at sub-idle-state timescales and never reaches\n"
+        "C1E, which is why it trails both techniques (often below 1:1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Per-thread thermal control (the paper's §3.6 demonstration).
+
+A periodic, short-running "cool" process (cpuburn bursts separated by
+sleeps) shares the machine with four hot calculix instances.  The
+script compares:
+
+- a *global* policy, which injects idle cycles into every thread and
+  unfairly slows the cool process; and
+- a *per-thread* policy, which targets only the heat producers and
+  leaves the cool process untouched.
+
+Run:  python examples/per_thread_control.py
+"""
+
+from repro import Machine, fast_config
+from repro.workloads import build_hot_cool_mix
+
+P, L = 0.75, 0.050  # a fairly aggressive setting to make the effect vivid
+DURATION = 100.0
+
+
+def run(mode: str):
+    machine = Machine(fast_config())
+    mix = build_hot_cool_mix(machine.scheduler, burn_time=2.0, sleep_time=8.0)
+    if mode == "global":
+        machine.control.set_global_policy(P, L)
+    elif mode == "per-thread":
+        for hot in mix.hot_threads:
+            machine.control.set_thread_policy(hot, P, L)
+    machine.run(DURATION)
+    return machine, mix
+
+
+def main() -> None:
+    results = {}
+    for mode in ("baseline", "per-thread", "global"):
+        machine, mix = run(mode)
+        results[mode] = {
+            "temp": machine.mean_core_temp_over_window(),
+            "idle": machine.idle_mean_temp,
+            "cool_work": mix.cool_thread.stats.work_done,
+            "cool_injections": mix.cool_thread.stats.injected_count,
+            "hot_injections": sum(t.stats.injected_count for t in mix.hot_threads),
+        }
+
+    base = results["baseline"]
+    print(f"baseline: {base['temp']:.2f} C "
+          f"(idle {base['idle']:.2f} C), cool work {base['cool_work']:.2f}s")
+    print(f"\n{'mode':>12s} {'temp red.':>10s} {'cool tput':>10s} "
+          f"{'cool inj':>9s} {'hot inj':>8s}")
+    for mode in ("per-thread", "global"):
+        r = results[mode]
+        reduction = (base["temp"] - r["temp"]) / (base["temp"] - base["idle"])
+        cool_tput = r["cool_work"] / base["cool_work"]
+        print(f"{mode:>12s} {reduction * 100:9.1f}% {cool_tput * 100:9.1f}% "
+              f"{r['cool_injections']:9d} {r['hot_injections']:8d}")
+
+    print("\nPer-thread control lowers system temperature as much as the "
+          "global policy\nwhile the cool process runs uninterrupted "
+          "(zero injections against it).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""SMT idle-quantum co-scheduling (the paper's §3.2 footnote, realised).
+
+The paper disabled SMT: "In order to cause the entire core to enter the
+C1E low power state we need to halt all thread contexts on the core.
+This is feasible but requires additional care in co-scheduling idle
+quanta."  This example enables two hardware contexts per core, runs
+eight cpuburn threads, and compares naive injection (contexts idle
+independently, the core almost never fully halts) against co-scheduled
+injection (siblings idle together, whole cores reach C1E).
+
+Run:  python examples/smt_coscheduling.py
+"""
+
+from repro import CpuBurn, Machine, fast_config
+from repro.cpu import CState
+
+DURATION = 100.0
+P, L = 0.5, 0.025
+
+
+def run(label: str, *, p: float, co_schedule: bool):
+    machine = Machine(fast_config().scaled(smt=2), co_schedule_smt=co_schedule)
+    if p > 0:
+        machine.control.set_global_policy(p, L)
+    for i in range(8):
+        machine.scheduler.spawn(CpuBurn(), name=f"burn-{i}")
+    machine.run(DURATION)
+    deep = sum(c.residency.get(CState.C1E) for c in machine.chip.cores)
+    total = sum(c.residency.total() for c in machine.chip.cores)
+    return {
+        "label": label,
+        "temp": machine.mean_core_temp_over_window(),
+        "idle_temp": machine.idle_mean_temp,
+        "work": machine.total_work_done(),
+        "deep_frac": deep / total,
+        "co_idles": machine.scheduler.stats.co_scheduled_idles,
+    }
+
+
+def main() -> None:
+    print("8 cpuburn threads on 4 cores x 2 SMT contexts...\n")
+    base = run("baseline", p=0.0, co_schedule=False)
+    naive = run("naive injection", p=P, co_schedule=False)
+    cosched = run("co-scheduled", p=P, co_schedule=True)
+
+    print(f"{'policy':>18s} {'temp':>8s} {'temp red.':>10s} {'tput red.':>10s} "
+          f"{'C1E time':>9s} {'co-idles':>9s}")
+    for r in (base, naive, cosched):
+        reduction = (base["temp"] - r["temp"]) / (base["temp"] - base["idle_temp"])
+        tput = 1 - r["work"] / base["work"]
+        print(f"{r['label']:>18s} {r['temp']:7.2f}C {reduction * 100:9.1f}% "
+              f"{tput * 100:9.1f}% {r['deep_frac'] * 100:8.1f}% {r['co_idles']:9d}")
+
+    print(
+        "\nNaive per-context injection pays the throughput tax with almost no\n"
+        "thermal return (some context is nearly always busy, so the core stays\n"
+        "in C0).  Co-scheduling the idle quanta halts whole cores and recovers\n"
+        "the paper's efficient trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Latency-sensitive serving under idle injection (the paper's §3.7).
+
+Stands up the SPECWeb-like workload — 440 open connections driving
+Poisson request arrivals through a kernel interrupt thread into a pool
+of user worker threads — and sweeps injection settings, reporting
+temperature reduction against the paper's QoS metrics ("good" ≤ 3 s,
+"tolerable" ≤ 5 s).
+
+Run:  python examples/webserver_qos.py
+"""
+
+from repro import Machine, WebServer, fast_config
+from repro.workloads import QOS_GOOD, QOS_TOLERABLE
+
+DURATION = 100.0
+SETTINGS = [
+    (0.0, 0.0),  # baseline
+    (0.5, 0.025),
+    (0.75, 0.025),
+    (0.5, 0.050),
+    (0.65, 0.050),
+    (0.5, 0.100),
+]
+
+
+def run(p: float, idle_quantum: float):
+    machine = Machine(fast_config())
+    server = WebServer(machine.scheduler, machine.rng.stream("web"))
+    if p > 0:
+        machine.control.set_global_policy(p, idle_quantum)
+    machine.run(DURATION)
+    window = dict(start=5.0, end=DURATION - QOS_TOLERABLE)
+    return {
+        "temp": machine.mean_core_temp_over_window(),
+        "idle": machine.idle_mean_temp,
+        "good": server.log.qos_fraction(QOS_GOOD, **window),
+        "tolerable": server.log.qos_fraction(QOS_TOLERABLE, **window),
+        "resp_ms": server.log.mean_response_time(**window) * 1e3,
+        "load": server.offered_load_per_core,
+    }
+
+
+def main() -> None:
+    print("Sweeping idle injection over the web-serving workload...\n")
+    baseline = run(*SETTINGS[0])
+    print(f"offered load per core : {baseline['load'] * 100:.0f}%")
+    print(f"baseline temperature  : {baseline['temp']:.2f} C "
+          f"(+{baseline['temp'] - baseline['idle']:.1f} C over idle)\n")
+
+    header = f"{'p':>5s} {'L[ms]':>6s} {'temp red.':>10s} {'good':>7s} {'tolerable':>10s} {'resp[ms]':>9s}"
+    print(header)
+    print("-" * len(header))
+    for p, idle_quantum in SETTINGS[1:]:
+        result = run(p, idle_quantum)
+        reduction = (baseline["temp"] - result["temp"]) / (
+            baseline["temp"] - baseline["idle"]
+        )
+        print(
+            f"{p:5.2f} {idle_quantum * 1e3:6.0f} {reduction * 100:9.1f}% "
+            f"{result['good'] * 100:6.1f}% {result['tolerable'] * 100:9.1f}% "
+            f"{result['resp_ms']:9.1f}"
+        )
+
+    print(
+        "\nModerate settings convert shallow inter-request idle into deep idle\n"
+        "(real temperature reductions at intact QoS); aggressive settings defer\n"
+        "too much work and the backlog blows through the QoS thresholds."
+    )
+
+
+if __name__ == "__main__":
+    main()

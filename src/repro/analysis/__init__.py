@@ -1,0 +1,6 @@
+"""Downstream analyses of thermal results: reliability and cooling cost."""
+
+from .cooling import HOURS_PER_YEAR, CoolingModel
+from .reliability import BOLTZMANN_EV, ReliabilityModel
+
+__all__ = ["BOLTZMANN_EV", "CoolingModel", "HOURS_PER_YEAR", "ReliabilityModel"]

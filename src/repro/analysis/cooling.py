@@ -1,0 +1,73 @@
+"""Data-center cooling cost modelling (the paper's §1 motivation).
+
+"The power required to cool a processor is nearly equivalent to the
+electricity required to power it [Patel & Shah], ... and chiller power,
+a historically dominant data center energy overhead, scales
+quadratically with the amount of heat extracted [Pelley et al.]."
+
+This module turns a Dimetrodon temperature/heat reduction into cooling
+energy numbers with the standard abstraction from Pelley et al.:
+chiller power is a quadratic function of extracted heat, plus a linear
+CRAH/fan term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: Hours in a year, for energy-cost annualisation.
+HOURS_PER_YEAR = 8766.0
+
+
+@dataclass(frozen=True)
+class CoolingModel:
+    """Chiller + air-mover power as a function of extracted heat.
+
+    ``P_cool(Q) = linear · Q + quadratic · Q²`` — coefficients default
+    to a mid-efficiency chilled-water plant where cooling power reaches
+    ~half of IT power at the design load (Patel & Shah's observation),
+    with the quadratic term dominating toward saturation (Pelley et
+    al.).  ``design_load`` anchors the quadratic coefficient's scale.
+    """
+
+    #: Linear (CRAH fans, pumps) coefficient, W of cooling per W of heat.
+    linear: float = 0.2
+    #: Chiller quadratic coefficient at the design load.
+    quadratic_at_design: float = 0.3
+    #: Design heat load, W.
+    design_load: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.design_load <= 0:
+            raise ConfigurationError("design load must be positive")
+        if self.linear < 0 or self.quadratic_at_design < 0:
+            raise ConfigurationError("cooling coefficients must be non-negative")
+
+    def cooling_power(self, heat_watts: float) -> float:
+        """Cooling power (W) needed to extract ``heat_watts``."""
+        if heat_watts < 0:
+            raise ConfigurationError("heat must be non-negative")
+        quad = self.quadratic_at_design / self.design_load
+        return self.linear * heat_watts + quad * heat_watts**2
+
+    def cooling_ratio(self, heat_watts: float) -> float:
+        """Cooling power per watt of heat at this load (the 'burden')."""
+        if heat_watts == 0:
+            return self.linear
+        return self.cooling_power(heat_watts) / heat_watts
+
+    # ------------------------------------------------------------------
+    def savings(self, baseline_heat: float, reduced_heat: float) -> float:
+        """Cooling power saved (W) by lowering heat output.
+
+        Because the chiller term is quadratic, heat reductions save
+        *superlinearly*: shaving the last watts of a hot machine is
+        worth more than their face value.
+        """
+        return self.cooling_power(baseline_heat) - self.cooling_power(reduced_heat)
+
+    def annual_energy_kwh(self, heat_watts: float) -> float:
+        """Cooling energy per year (kWh) at a steady heat load."""
+        return self.cooling_power(heat_watts) * HOURS_PER_YEAR / 1000.0

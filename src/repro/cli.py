@@ -1,0 +1,93 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro fig3
+    python -m repro fig4 --full --seed 7
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from .experiments import (
+    fast_config,
+    fig1_power_trace,
+    fig2_temperature_timeseries,
+    fig3_efficiency,
+    fig4_technique_comparison,
+    fig5_per_thread_control,
+    fig6_webserver_qos,
+    full_config,
+    table1_spec_workloads,
+    validate_energy_model,
+    validate_throughput_model,
+)
+
+#: experiment name -> (description, runner).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig1": ("race-to-idle vs Dimetrodon power trace", fig1_power_trace),
+    "fig2": ("temperature rise vs time for several p", fig2_temperature_timeseries),
+    "fig3": ("efficiency vs idle quantum length", fig3_efficiency),
+    "fig4": ("Dimetrodon vs VFS vs p4tcc sweeps", fig4_technique_comparison),
+    "fig5": ("global vs per-thread control", fig5_per_thread_control),
+    "fig6": ("web server QoS vs temperature reduction", fig6_webserver_qos),
+    "table1": ("SPEC CPU2006 profiles and fits", table1_spec_workloads),
+    "validate-throughput": ("throughput model validation (§3.3)", validate_throughput_model),
+    "validate-energy": ("energy model validation (§3.3)", validate_energy_model),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dimetrodon",
+        description="Reproduce the Dimetrodon (DAC 2011) evaluation on a "
+        "simulated server testbed.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment to run ('list' prints descriptions)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment RNG seed")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-faithful timing (300 s runs) instead of the fast preset",
+    )
+    return parser
+
+
+def run_experiment(name: str, *, seed: int = 0, full: bool = False) -> str:
+    """Run one experiment and return its rendered text."""
+    config = full_config(seed) if full else fast_config(seed)
+    _, runner = EXPERIMENTS[name]
+    started = time.time()
+    result = runner(config)
+    elapsed = time.time() - started
+    return f"{result.render()}\n[{name}: {elapsed:.1f}s wall]"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            description, _ = EXPERIMENTS[name]
+            print(f"{name:22s} {description}")
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(run_experiment(name, seed=args.seed, full=args.full))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Dimetrodon core: injection policies, scheduler hook, models, analysis."""
+
+from .capping import CapSample, PowerCapController
+from .controller import ControllerGains, ControllerSample, ThermalSetpointController
+from .dtm import ReactiveThrottleController, ThrottleEvent, ThrottleStats
+from .injector import IdleInjector, IdleMode, InjectionDecision, InjectorStats
+from .migration import MigrationEvent, ThermalMigrationPolicy
+from .models import (
+    EnergyPrediction,
+    idle_quanta_per_execution,
+    predicted_energy,
+    predicted_idle_fraction,
+    predicted_runtime,
+    predicted_throughput_factor,
+)
+from .pareto import (
+    PowerLawFit,
+    TradeoffPoint,
+    crossover_reduction,
+    fit_power_law,
+    interpolate_boundary,
+    pareto_boundary,
+)
+from .policy import (
+    BernoulliInjectionPolicy,
+    DeterministicInjectionPolicy,
+    InjectionPolicy,
+    NoInjectionPolicy,
+    PolicyTable,
+    validate_probability,
+    validate_quantum,
+)
+
+__all__ = [
+    "BernoulliInjectionPolicy",
+    "CapSample",
+    "ControllerGains",
+    "MigrationEvent",
+    "PowerCapController",
+    "ReactiveThrottleController",
+    "ThermalMigrationPolicy",
+    "ThrottleEvent",
+    "ThrottleStats",
+    "ControllerSample",
+    "DeterministicInjectionPolicy",
+    "EnergyPrediction",
+    "IdleInjector",
+    "IdleMode",
+    "InjectionDecision",
+    "InjectionPolicy",
+    "InjectorStats",
+    "NoInjectionPolicy",
+    "PolicyTable",
+    "PowerLawFit",
+    "ThermalSetpointController",
+    "TradeoffPoint",
+    "crossover_reduction",
+    "fit_power_law",
+    "idle_quanta_per_execution",
+    "interpolate_boundary",
+    "pareto_boundary",
+    "predicted_energy",
+    "predicted_idle_fraction",
+    "predicted_runtime",
+    "predicted_throughput_factor",
+    "validate_probability",
+    "validate_quantum",
+]

@@ -1,0 +1,109 @@
+"""Closed-loop temperature control (extension of §2.1).
+
+The paper notes that idle cycle injection "can be adjusted online
+according to the thermal profile and performance constraints of the
+application".  This module implements that: a PI controller samples the
+hottest core temperature periodically and actuates the injection
+probability ``p`` (at a fixed idle quantum length ``L``) through the
+syscall surface, holding an average-case temperature setpoint.
+
+Deterministic injection is used so the control signal is not confounded
+by Bernoulli sampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.engine import Simulator
+from ..sim.process import PeriodicTask
+
+if False:  # pragma: no cover - import cycle breaker, type hints only
+    from ..sched.syscalls import DimetrodonControl
+
+
+@dataclass
+class ControllerSample:
+    """One control step's record, for analysis and tests."""
+
+    time: float
+    temperature: float
+    error: float
+    p: float
+
+
+@dataclass
+class ControllerGains:
+    """PI gains in units of injection probability per °C (and per °C·s)."""
+
+    kp: float = 0.04
+    ki: float = 0.02
+    #: Anti-windup clamp on the integral term's contribution to p.
+    integral_limit: float = 0.93
+
+
+class ThermalSetpointController:
+    """Holds a core-temperature setpoint by modulating p online."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        control: "DimetrodonControl",
+        read_temperature: Callable[[], float],
+        *,
+        setpoint: float,
+        idle_quantum: float = 0.010,
+        period: float = 1.0,
+        gains: ControllerGains = None,
+        p_max: float = 0.95,
+    ):
+        if period <= 0:
+            raise ConfigurationError("controller period must be positive")
+        if idle_quantum <= 0:
+            raise ConfigurationError("idle quantum must be positive")
+        if not 0 < p_max < 1:
+            raise ConfigurationError("p_max must be in (0, 1)")
+        self.control = control
+        self.read_temperature = read_temperature
+        self.setpoint = float(setpoint)
+        self.idle_quantum = float(idle_quantum)
+        self.gains = gains or ControllerGains()
+        self.p_max = p_max
+        self.p = 0.0
+        self._integral = 0.0
+        self.history: List[ControllerSample] = []
+        self._task = PeriodicTask(sim, period, self._step)
+        self._sim = sim
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    def _step(self) -> None:
+        temp = float(self.read_temperature())
+        error = temp - self.setpoint  # positive = too hot = inject more
+        self._integral = float(
+            np.clip(
+                self._integral + self.gains.ki * error,
+                -self.gains.integral_limit,
+                self.gains.integral_limit,
+            )
+        )
+        raw = self.gains.kp * error + self._integral
+        self.p = float(np.clip(raw, 0.0, self.p_max))
+        self.control.set_global_policy(self.p, self.idle_quantum, deterministic=True)
+        self.history.append(
+            ControllerSample(time=self._sim.now, temperature=temp, error=error, p=self.p)
+        )
+
+    # ------------------------------------------------------------------
+    def settled(self, *, window: int = 10, tolerance: float = 1.0) -> bool:
+        """True if the last ``window`` samples are within ``tolerance``
+        °C of the setpoint on average."""
+        if len(self.history) < window:
+            return False
+        recent = np.array([s.temperature for s in self.history[-window:]])
+        return bool(abs(float(recent.mean()) - self.setpoint) <= tolerance)

@@ -1,0 +1,120 @@
+"""Reactive (worst-case) dynamic thermal management baseline.
+
+The paper positions Dimetrodon against "traditional DTM techniques
+[that] focus on reducing worst-case thermal emergencies but do not
+contribute to lowering overall temperatures" (§1).  This module
+implements that tradition: a trip-point controller that engages the
+thermal control circuit (clock modulation, the hardware's emergency
+knob) when a critical temperature is crossed and releases it below a
+hysteresis band — the behaviour of a p4tcc/PROCHOT-style governor.
+
+It exists as a *contrast* baseline: it bounds the maximum temperature
+but, unlike preventive injection, does nothing until the emergency is
+already happening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..cpu.chip import Chip
+from ..cpu.tcc import TCC_OFF, TccSetting, setpoints
+from ..errors import ConfigurationError
+from ..sim.engine import Simulator
+from ..sim.process import PeriodicTask
+
+
+@dataclass
+class ThrottleEvent:
+    """One controller action, for analysis and tests."""
+
+    time: float
+    temperature: float
+    duty: float
+
+
+@dataclass
+class ThrottleStats:
+    """Aggregate reactive-DTM behaviour over a run."""
+
+    engagements: int = 0
+    samples_over_trip: int = 0
+    samples_total: int = 0
+
+    @property
+    def fraction_over_trip(self) -> float:
+        if self.samples_total == 0:
+            return 0.0
+        return self.samples_over_trip / self.samples_total
+
+
+class ReactiveThrottleController:
+    """Trip-point clock-modulation governor (worst-case DTM)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        chip: Chip,
+        read_temperature: Callable[[], float],
+        *,
+        trip_temp: float,
+        hysteresis: float = 2.0,
+        period: float = 0.1,
+        ladder: Optional[Sequence[TccSetting]] = None,
+    ):
+        if hysteresis < 0:
+            raise ConfigurationError("hysteresis must be non-negative")
+        if period <= 0:
+            raise ConfigurationError("controller period must be positive")
+        self.chip = chip
+        self.read_temperature = read_temperature
+        self.trip_temp = float(trip_temp)
+        self.hysteresis = float(hysteresis)
+        #: Duty ladder, deepest first index 0 ... lightest last.
+        steps = list(ladder) if ladder is not None else setpoints(8)
+        self.ladder = sorted(steps, key=lambda s: s.duty)
+        self._level = len(self.ladder)  # index into ladder; == len -> off
+        self.stats = ThrottleStats()
+        self.history: List[ThrottleEvent] = []
+        self._sim = sim
+        self._task = PeriodicTask(sim, period, self._step)
+
+    # ------------------------------------------------------------------
+    @property
+    def current_duty(self) -> float:
+        if self._level >= len(self.ladder):
+            return 1.0
+        return self.ladder[self._level].duty
+
+    @property
+    def throttling(self) -> bool:
+        return self._level < len(self.ladder)
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        temp = float(self.read_temperature())
+        self.stats.samples_total += 1
+        if temp >= self.trip_temp:
+            self.stats.samples_over_trip += 1
+            if self._level > 0:
+                if not self.throttling:
+                    self.stats.engagements += 1
+                self._level -= 1  # deeper modulation
+                self._apply(temp)
+        elif temp < self.trip_temp - self.hysteresis:
+            if self._level < len(self.ladder):
+                self._level += 1  # relax one notch
+                self._apply(temp)
+
+    def _apply(self, temp: float) -> None:
+        setting = (
+            self.ladder[self._level] if self._level < len(self.ladder) else TCC_OFF
+        )
+        self.chip.set_tcc(setting)
+        self.history.append(
+            ThrottleEvent(time=self._sim.now, temperature=temp, duty=setting.duty)
+        )

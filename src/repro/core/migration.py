@@ -1,0 +1,121 @@
+"""Heat-and-run style thermal core migration (§4's related work).
+
+The paper cites Gomaa et al.'s "heat-and-run" (ASPLOS '04) — moving hot
+threads to cooler cores — as an orthogonal, potentially complementary
+technique, and notes its limit in §3.6: migration "may be ineffective
+on fully-burdened machines" because there is no cool core to move to.
+
+:class:`ThermalMigrationPolicy` implements the mechanism: periodically
+compare per-core temperatures, and when a busy core is sufficiently
+hotter than an *idle* core, preempt its thread and re-pin it to the
+cool core.  The migration bench demonstrates both the win on a
+partially loaded machine and the §3.6 failure mode on a full one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sched.scheduler import Scheduler
+from ..sched.thread import Thread, ThreadState
+from ..sim.engine import Simulator
+from ..sim.process import PeriodicTask
+
+
+@dataclass
+class MigrationEvent:
+    """One migration, for analysis and tests."""
+
+    time: float
+    tid: int
+    source_core: int
+    target_core: int
+    source_temp: float
+    target_temp: float
+
+
+class ThermalMigrationPolicy:
+    """Periodically move the hottest core's thread to the coolest idle core."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: Scheduler,
+        read_core_temps: Callable[[], Sequence[float]],
+        *,
+        period: float = 2.0,
+        min_delta: float = 1.0,
+    ):
+        if period <= 0:
+            raise ConfigurationError("migration period must be positive")
+        if min_delta < 0:
+            raise ConfigurationError("min_delta must be non-negative")
+        self.scheduler = scheduler
+        self.read_core_temps = read_core_temps
+        self.min_delta = float(min_delta)
+        self.history: List[MigrationEvent] = []
+        #: Periods in which no migration was possible (no idle target).
+        self.blocked_periods = 0
+        self._sim = sim
+        self._task = PeriodicTask(sim, period, self._step)
+
+    @property
+    def migrations(self) -> int:
+        return len(self.history)
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        temps = np.asarray(self.read_core_temps(), dtype=float)
+        busy_cores = {}
+        idle_cores = []
+        for slot in self.scheduler.slots:
+            index = slot.core.index
+            if slot.current is not None:
+                busy_cores.setdefault(index, slot)
+            elif not slot.injected and index not in busy_cores:
+                idle_cores.append(index)
+        # A core is a migration target only if *no* slot on it is busy.
+        idle_cores = [c for c in idle_cores if c not in busy_cores]
+        if not busy_cores:
+            return
+        if not idle_cores:
+            self.blocked_periods += 1  # fully burdened: nothing to do (§3.6)
+            return
+
+        # Pair hottest busy cores with coolest idle cores, migrating
+        # every pair whose temperature gap clears the threshold.
+        hot_order = sorted(busy_cores, key=lambda c: -temps[c])
+        cool_order = sorted(idle_cores, key=lambda c: temps[c])
+        for hot_core, cool_core in zip(hot_order, cool_order):
+            if temps[hot_core] - temps[cool_core] < self.min_delta:
+                break
+            thread = busy_cores[hot_core].current
+            if thread is None:  # raced with a slice end
+                continue
+            self._migrate(thread, hot_core, cool_core, temps)
+
+    def _migrate(
+        self, thread: Thread, source: int, target: int, temps: np.ndarray
+    ) -> None:
+        # Re-pin *before* preempting: the preempt requeues the thread
+        # and immediately offers it to idle cores, which must already
+        # see the new affinity.
+        thread.affinity = target
+        self.scheduler.preempt(thread)
+        self.history.append(
+            MigrationEvent(
+                time=self._sim.now,
+                tid=thread.tid,
+                source_core=source,
+                target_core=target,
+                source_temp=float(temps[source]),
+                target_temp=float(temps[target]),
+            )
+        )

@@ -1,0 +1,99 @@
+"""The paper's analytical throughput and power models (§2.2).
+
+Throughput/runtime
+------------------
+For a CPU-bound thread with real runtime ``R`` and average quantum
+length ``q``, scheduled ``S = R / q`` times, idling with probability
+``p`` for quanta of length ``L``:
+
+    D(t) = R + S · p/(1-p) · L
+
+Power/energy
+------------
+Race-to-idle over a window ``D(t)`` consumes ``u·R + (D(t)-R)·m``;
+Dimetrodon consumes ``u·R + (L/q)·(p/(1-p))·m·R`` — identical totals,
+because the idle cycles are merely moved from after the computation to
+between compute quanta.  The validation benches check the simulator
+against both identities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .policy import validate_probability, validate_quantum
+
+
+def idle_quanta_per_execution(p: float) -> float:
+    """Expected injected idle quanta per execution quantum: p/(1-p)."""
+    validate_probability(p)
+    return p / (1.0 - p)
+
+
+def predicted_runtime(total_cpu: float, quantum: float, p: float, idle_quantum: float) -> float:
+    """The model's D(t): completion time under injection.
+
+    ``total_cpu`` is R (seconds of CPU demand), ``quantum`` is the
+    average execution quantum length q.
+    """
+    if total_cpu <= 0 or quantum <= 0:
+        raise ConfigurationError("total_cpu and quantum must be positive")
+    validate_quantum(idle_quantum)
+    schedules = total_cpu / quantum
+    return total_cpu + schedules * idle_quanta_per_execution(p) * idle_quantum
+
+
+def predicted_throughput_factor(quantum: float, p: float, idle_quantum: float) -> float:
+    """Relative throughput R / D(t) — independent of R.
+
+    Equals ``1 / (1 + (p/(1-p)) · L/q)``.
+    """
+    if quantum <= 0:
+        raise ConfigurationError("quantum must be positive")
+    validate_quantum(idle_quantum)
+    return 1.0 / (1.0 + idle_quanta_per_execution(p) * idle_quantum / quantum)
+
+
+def predicted_idle_fraction(quantum: float, p: float, idle_quantum: float) -> float:
+    """Fraction of wall-clock time spent in injected idle: 1 - R/D."""
+    return 1.0 - predicted_throughput_factor(quantum, p, idle_quantum)
+
+
+@dataclass(frozen=True)
+class EnergyPrediction:
+    """Both sides of the §2.2 energy identity."""
+
+    race_to_idle: float
+    dimetrodon: float
+
+    @property
+    def ratio(self) -> float:
+        """Dimetrodon energy relative to race-to-idle (paper: ≈1)."""
+        return self.dimetrodon / self.race_to_idle
+
+
+def predicted_energy(
+    total_cpu: float,
+    quantum: float,
+    p: float,
+    idle_quantum: float,
+    *,
+    active_power: float,
+    idle_power: float,
+) -> EnergyPrediction:
+    """Energy over a window of length D(t) under both policies.
+
+    ``active_power`` is u (W while executing), ``idle_power`` is m
+    (W while idling).  The two predictions are algebraically equal;
+    both are returned so tests document the identity explicitly.
+    """
+    if active_power <= 0 or idle_power < 0:
+        raise ConfigurationError("powers must be positive (u) / non-negative (m)")
+    window = predicted_runtime(total_cpu, quantum, p, idle_quantum)
+    idle_time = window - total_cpu
+    race = active_power * total_cpu + idle_time * idle_power
+    dimetrodon = active_power * total_cpu + (
+        (idle_quantum / quantum) * idle_quanta_per_execution(p) * idle_power * total_cpu
+    )
+    return EnergyPrediction(race_to_idle=race, dimetrodon=dimetrodon)

@@ -1,0 +1,27 @@
+"""Processor model: cores, power, C-states, DVFS, and clock modulation."""
+
+from .chip import Chip, Core
+from .cstates import CState, CStateParams, IdlePiece, ResidencyCounter, exit_latency, idle_profile
+from .dvfs import DvfsTable, OperatingPoint, step_size, xeon_e5520_table
+from .power import PowerModel, PowerParams
+from .tcc import TCC_OFF, TccSetting, setpoints
+
+__all__ = [
+    "Chip",
+    "Core",
+    "CState",
+    "CStateParams",
+    "DvfsTable",
+    "IdlePiece",
+    "OperatingPoint",
+    "PowerModel",
+    "PowerParams",
+    "ResidencyCounter",
+    "TCC_OFF",
+    "TccSetting",
+    "exit_latency",
+    "idle_profile",
+    "setpoints",
+    "step_size",
+    "xeon_e5520_table",
+]

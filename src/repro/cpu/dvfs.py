@@ -1,0 +1,114 @@
+"""Dynamic voltage and frequency scaling operating points.
+
+The paper's processor exposed "DVFS scaling settings every 133 MHz with
+a minimum frequency of 1.6 GHz (71% of maximum)" (§3.2).  We model the
+same ladder with a linear voltage/frequency relationship typical of the
+era.  VFS is the headline comparison baseline in Figure 4: its dynamic
+power scales as f·V² (roughly cubic in f), which is what eventually
+beats idle injection at large temperature reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+from ..units import GHZ, MHZ
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One voltage/frequency setting."""
+
+    frequency: float  # Hz
+    voltage: float  # V
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0 or self.voltage <= 0:
+            raise ConfigurationError("operating point must have positive f and V")
+
+    @property
+    def label(self) -> str:
+        return f"{self.frequency / GHZ:.2f}GHz@{self.voltage:.2f}V"
+
+
+@dataclass(frozen=True)
+class DvfsTable:
+    """The ladder of supported operating points, sorted ascending."""
+
+    points: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 1:
+            raise ConfigurationError("DVFS table needs at least one point")
+        freqs = [p.frequency for p in self.points]
+        if freqs != sorted(freqs):
+            raise ConfigurationError("DVFS table must be sorted by frequency")
+
+    @property
+    def max_point(self) -> OperatingPoint:
+        return self.points[-1]
+
+    @property
+    def min_point(self) -> OperatingPoint:
+        return self.points[0]
+
+    def dynamic_scale(self, point: OperatingPoint) -> float:
+        """Dynamic power at ``point`` relative to the maximum point (f·V²)."""
+        top = self.max_point
+        return (point.frequency / top.frequency) * (point.voltage / top.voltage) ** 2
+
+    def leakage_scale(self, point: OperatingPoint) -> float:
+        """Leakage at ``point`` relative to the maximum point (≈V).
+
+        Subthreshold leakage scales roughly linearly with supply
+        voltage at fixed temperature; the super-linear DIBL component
+        is folded into the temperature exponential instead.  (The C1E
+        state's deeper voltage drop is modelled separately via
+        ``PowerParams.c1e_leakage_factor``.)
+        """
+        top = self.max_point
+        return point.voltage / top.voltage
+
+    def speed_scale(self, point: OperatingPoint) -> float:
+        """Execution speed of CPU-bound code relative to the maximum point."""
+        return point.frequency / self.max_point.frequency
+
+    def nearest(self, frequency: float) -> OperatingPoint:
+        """The supported point closest to ``frequency`` (Hz)."""
+        return min(self.points, key=lambda p: abs(p.frequency - frequency))
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def xeon_e5520_table() -> DvfsTable:
+    """The 1.60–2.26 GHz ladder in 133 MHz steps (6 points).
+
+    Voltages follow a *convex* V(f) spanning 1.08–1.20 V: P-state
+    tables on server Nehalem boards kept the VID near nominal for the
+    upper frequency steps and dropped it appreciably only toward the
+    ladder's bottom.  The shape matters for Figure 4: it makes shallow
+    VFS steps nearly frequency-only (weak temperature leverage, so idle
+    injection wins small reductions) while the deepest step keeps the
+    paper's "30% throughput reduction → 50% temperature reduction".
+    """
+    # Bus-clock multiples: 12..17 x 133.33 MHz, i.e. 1.60 .. 2.267 GHz.
+    freqs_ghz = [multiplier * 0.13333 for multiplier in range(12, 18)]
+    v_min, v_max = 1.08, 1.20
+    f_min, f_max = freqs_ghz[0], freqs_ghz[-1]
+    points: List[OperatingPoint] = []
+    for f in freqs_ghz:
+        depth = (f_max - f) / (f_max - f_min)  # 0 at top, 1 at bottom
+        voltage = v_max - (v_max - v_min) * depth**2
+        points.append(OperatingPoint(frequency=f * GHZ, voltage=round(voltage, 4)))
+    return DvfsTable(points=tuple(points))
+
+
+def step_size() -> float:
+    """The paper's quoted DVFS granularity (133 MHz), in Hz."""
+    return 133 * MHZ

@@ -1,0 +1,69 @@
+"""Thermal Control Circuit (p4tcc-style) clock duty-cycle modulation.
+
+FreeBSD's ``p4tcc`` driver programs the processor's thermal control
+circuit to stop the core clock for a programmable fraction of a very
+short modulation window (microseconds — far below any C-state promotion
+threshold).  The Intel SDM exposes 8 duty steps of 12.5 %.
+
+The modulation window is orders of magnitude shorter than both the
+scheduler quantum and the die thermal time constant, so we model TCC as
+a *continuous* modifier on core power and speed rather than as discrete
+events: while gated the core burns a small residual dynamic power and
+full leakage, and it can never enter C1/C1E because the OS still
+considers it busy.  That combination — no low-power state, period far
+below the useful idle length — is exactly why the paper finds p4tcc
+"failing to achieve even 1:1 performance to throughput trade-offs"
+(§3.4, Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TccSetting:
+    """One clock-modulation setpoint."""
+
+    #: Fraction of each modulation window the clock runs, in (0, 1].
+    duty: float
+    #: Residual dynamic power fraction while the clock is stopped
+    #: (clock distribution and bus interface stay powered).
+    gated_dynamic_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.duty <= 1.0:
+            raise ConfigurationError(f"TCC duty must be in (0, 1], got {self.duty}")
+        if not 0.0 <= self.gated_dynamic_fraction < 1.0:
+            raise ConfigurationError("gated dynamic fraction must be in [0, 1)")
+
+    @property
+    def dynamic_scale(self) -> float:
+        """Average dynamic power relative to unmodulated execution."""
+        return self.duty + (1.0 - self.duty) * self.gated_dynamic_fraction
+
+    @property
+    def speed_scale(self) -> float:
+        """Execution speed relative to unmodulated execution."""
+        return self.duty
+
+    @property
+    def label(self) -> str:
+        return f"tcc-{self.duty * 100:.1f}%"
+
+
+#: The unmodulated setting.
+TCC_OFF = TccSetting(duty=1.0)
+
+
+def setpoints(steps: int = 8) -> List[TccSetting]:
+    """The p4tcc ladder: duty = i/steps for i in 1..steps.
+
+    Includes the 100 % point so sweeps contain the baseline.
+    """
+    if steps < 2:
+        raise ConfigurationError("need at least two TCC steps")
+    return [TccSetting(duty=i / steps) for i in range(1, steps + 1)]

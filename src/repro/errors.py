@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Dimetrodon reproduction.
+
+Every exception raised deliberately by this package derives from
+:class:`ReproError` so callers can catch the whole family at once.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator is used incorrectly.
+
+    Examples: scheduling an event in the past, advancing a finished
+    simulation, or re-running a simulator that already completed.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when a model or experiment is configured inconsistently.
+
+    Examples: a negative thermal capacitance, an injection probability
+    outside ``[0, 1)``, or an unknown DVFS operating point.
+    """
+
+
+class SchedulerError(ReproError):
+    """Raised when scheduler invariants are violated.
+
+    These indicate bugs in scheduler bookkeeping (a thread queued twice,
+    a core dispatching a non-runnable thread) and should never occur in
+    normal operation; tests assert on them.
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload produces an invalid burst description."""
+
+
+class AnalysisError(ReproError):
+    """Raised when post-processing cannot produce a result.
+
+    Examples: fitting a Pareto frontier to fewer than two points, or
+    requesting a summary window longer than the recorded trace.
+    """

@@ -1,0 +1,91 @@
+"""Experiment configuration: the simulated testbed and run durations.
+
+Two presets are provided:
+
+- :func:`full_config` — paper-faithful timing: ~300 s characterisation
+  runs with the real heatsink time constant.  Used to produce the
+  numbers in EXPERIMENTS.md when time permits.
+- :func:`fast_config` — compressed thermal transients (see
+  :func:`repro.thermal.params.fast`) and proportionally shorter runs;
+  steady-state physics identical.  This is what the benchmark suite
+  runs by default so the whole evaluation regenerates in minutes.
+
+Set the environment variable ``REPRO_FULL=1`` to make the benchmark
+harness use the full configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..cpu.cstates import CStateParams
+from ..cpu.power import PowerParams
+from ..thermal import params as thermal_params
+from ..thermal.params import ThermalParams
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to build a reproducible testbed."""
+
+    seed: int = 0
+    num_cores: int = 4
+    #: Hardware threads per core.  The paper disables SMT (§3.2); the
+    #: SMT extension benches set this to 2.
+    smt: int = 1
+    thermal: ThermalParams = field(default_factory=thermal_params.default)
+    power: PowerParams = field(default_factory=PowerParams)
+    cstates: CStateParams = field(default_factory=CStateParams)
+    #: Platform supports the C1E low-power state (§3.2); ablatable.
+    c1e_enabled: bool = True
+    #: Scheduler timeslice, s (4.4BSD: fixed 100 ms).
+    quantum: float = 0.100
+    #: Context switch cost, s.
+    context_switch_cost: float = 30e-6
+    #: Temperature sampling period, s.
+    temp_sample_period: float = 0.5
+    #: Use coretemp-like quantised/noisy sensors instead of ideal ones.
+    noisy_sensors: bool = False
+    #: Clamp gain error std-dev for the power meter (paper: ~3.5 %).
+    clamp_gain_error: float = 0.0
+    #: Runqueue discipline: "bsd" (the paper's modified 4.4BSD MLFQ) or
+    #: "ule" (per-CPU queues with stealing — the §3.1 footnote's
+    #: "the mechanism generalizes to ULE").
+    scheduler_queue: str = "bsd"
+
+    #: Characterisation run length, s (paper: 300 s of cpuburn).
+    characterization_duration: float = 300.0
+    #: Trailing measurement window, s (paper: last 30 s).
+    measure_window: float = 30.0
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        return replace(self, seed=seed)
+
+    def scaled(self, **kwargs) -> "ExperimentConfig":
+        """Copy with overrides (a thin ``dataclasses.replace`` wrapper)."""
+        return replace(self, **kwargs)
+
+
+def full_config(seed: int = 0) -> ExperimentConfig:
+    """Paper-faithful timing (slow: ~300 s simulated per run)."""
+    return ExperimentConfig(seed=seed)
+
+
+def fast_config(seed: int = 0) -> ExperimentConfig:
+    """Compressed transients for CI-speed benches (~80 s per run)."""
+    return ExperimentConfig(
+        seed=seed,
+        thermal=thermal_params.fast(),
+        characterization_duration=100.0,
+        measure_window=15.0,
+    )
+
+
+def default_config(seed: int = 0, *, env: Optional[dict] = None) -> ExperimentConfig:
+    """fast_config unless ``REPRO_FULL=1`` is set in the environment."""
+    environment = os.environ if env is None else env
+    if environment.get("REPRO_FULL", "").strip() in {"1", "true", "yes"}:
+        return full_config(seed)
+    return fast_config(seed)

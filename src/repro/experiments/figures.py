@@ -1,0 +1,505 @@
+"""One entry point per figure of the paper's evaluation (§3).
+
+Each ``figN`` function runs the experiment on a supplied
+:class:`~repro.experiments.config.ExperimentConfig` and returns a
+result object whose ``render()`` reproduces the figure's content as
+text (series and summary statistics).  The benchmark harness under
+``benchmarks/`` wraps these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.pareto import (
+    PowerLawFit,
+    TradeoffPoint,
+    crossover_reduction,
+    fit_power_law,
+    pareto_boundary,
+)
+from ..instruments.stats import relative_reduction, throughput_reduction
+from ..units import MS
+from ..workloads.cpuburn import FiniteCpuBurn
+from ..workloads.mixes import build_hot_cool_mix
+from ..workloads.webserver import QOS_GOOD, QOS_TOLERABLE, WebServer
+from .config import ExperimentConfig
+from .machine import Machine
+from .reporting import format_series, format_table, percent
+from .runner import run_characterization
+from .sweeps import (
+    FIG3_LS_MS,
+    FIG3_PS,
+    FIG4_LS_MS,
+    FIG4_PS,
+    SweepResult,
+    sweep_dimetrodon,
+    sweep_tcc,
+    sweep_vfs,
+)
+
+
+# ======================================================================
+# Figure 1 — race-to-idle vs Dimetrodon power trace
+# ======================================================================
+@dataclass
+class Fig1Result:
+    """Power traces of a finite multi-threaded CPU-bound job."""
+
+    times_race: np.ndarray
+    power_race: np.ndarray
+    times_dim: np.ndarray
+    power_dim: np.ndarray
+    completion_race: float
+    completion_dim: float
+    energy_race: float
+    energy_dim: float
+    power_levels: List[float]
+
+    def render(self) -> str:
+        lines = [
+            "Figure 1: race-to-idle vs Dimetrodon power trace",
+            f"completion: race-to-idle {self.completion_race:.2f}s, "
+            f"Dimetrodon {self.completion_dim:.2f}s",
+            f"energy over common window: race {self.energy_race:.0f}J, "
+            f"Dimetrodon {self.energy_dim:.0f}J "
+            f"(ratio {self.energy_dim / self.energy_race:.3f})",
+            "package power levels (0..4 cores active): "
+            + ", ".join(f"{level:.1f}W" for level in self.power_levels),
+            format_series("race-to-idle P(t) [W]", self.times_race, self.power_race),
+            format_series("dimetrodon  P(t) [W]", self.times_dim, self.power_dim),
+        ]
+        return "\n".join(lines)
+
+
+def fig1_power_trace(
+    config: ExperimentConfig,
+    *,
+    work_per_thread: float = 1.5,
+    p: float = 0.5,
+    idle_quantum: float = 0.100,
+    sample_period: float = 0.020,
+) -> Fig1Result:
+    """Run the same finite 4-thread cpuburn with and without injection
+    and return the sampled package power traces."""
+
+    def run(inject: bool) -> Tuple[Machine, float]:
+        machine = Machine(config)
+        if inject:
+            machine.control.set_global_policy(p, idle_quantum)
+        threads = [
+            machine.scheduler.spawn(FiniteCpuBurn(work_per_thread), name=f"burn-{i}")
+            for i in range(config.num_cores)
+        ]
+        while any(t.alive for t in threads):
+            machine.run(0.5)
+        return machine, max(t.stats.exit_time for t in threads)
+
+    race_machine, race_done = run(inject=False)
+    dim_machine, dim_done = run(inject=True)
+    # Idle out both machines to a common window for energy parity (the
+    # run loop advances in chunks, so take the later of the two clocks).
+    window = max(race_machine.now, dim_machine.now) + 0.2
+    race_machine.run(window - race_machine.now)
+    dim_machine.run(window - dim_machine.now)
+
+    times_race, power_race = race_machine.powermeter.resample(sample_period, end=window)
+    times_dim, power_dim = dim_machine.powermeter.resample(sample_period, end=window)
+
+    # The staircase levels: package power with k of n cores active,
+    # estimated at the run's typical temperature.
+    temp = float(np.mean(dim_machine.core_temps))
+    model = dim_machine.chip.power_model
+    levels = [
+        model.package_power_estimate(
+            k, config.num_cores, temp, dim_machine.chip.operating_point
+        )
+        for k in range(config.num_cores + 1)
+    ]
+    return Fig1Result(
+        times_race=times_race,
+        power_race=power_race,
+        times_dim=times_dim,
+        power_dim=power_dim,
+        completion_race=race_done,
+        completion_dim=dim_done,
+        energy_race=race_machine.energy(0.0, window),
+        energy_dim=dim_machine.energy(0.0, window),
+        power_levels=levels,
+    )
+
+
+# ======================================================================
+# Figure 2 — temperature rise over time for different p (L = 100 ms)
+# ======================================================================
+@dataclass
+class Fig2Result:
+    """Mean-core temperature-rise time series per idle proportion."""
+
+    idle_quantum: float
+    series: Dict[float, Tuple[np.ndarray, np.ndarray]]
+    final_rise: Dict[float, float]
+    ripple_std: Dict[float, float]
+
+    def render(self) -> str:
+        lines = [
+            f"Figure 2: core temperature rise over idle vs time "
+            f"(L={self.idle_quantum * 1e3:.0f}ms)"
+        ]
+        rows = [
+            (p, self.final_rise[p], self.ripple_std[p])
+            for p in sorted(self.series)
+        ]
+        lines.append(
+            format_table(["p", "final rise [C]", "ripple std [C]"], rows)
+        )
+        for p in sorted(self.series):
+            times, rise = self.series[p]
+            lines.append(format_series(f"p={p:g} rise(t)", times, rise))
+        return "\n".join(lines)
+
+
+def fig2_temperature_timeseries(
+    config: ExperimentConfig,
+    *,
+    ps: Sequence[float] = (0.0, 0.25, 0.5, 0.75),
+    idle_quantum: float = 0.100,
+    duration: Optional[float] = None,
+) -> Fig2Result:
+    """cpuburn heating transients for several idle proportions."""
+    run_for = duration or config.characterization_duration
+    series: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
+    final_rise: Dict[float, float] = {}
+    ripple: Dict[float, float] = {}
+    for p in ps:
+        machine = Machine(config)
+        if p > 0:
+            machine.control.set_global_policy(p, idle_quantum)
+        from .runner import make_cpu_workload
+
+        for i in range(config.num_cores):
+            machine.scheduler.spawn(make_cpu_workload("cpuburn"), name=f"burn-{i}")
+        machine.run(run_for)
+        times = machine.templog.times
+        rise = machine.templog.samples.mean(axis=1) - machine.idle_mean_temp
+        series[p] = (times, rise)
+        window = config.measure_window
+        tail = rise[times >= times[-1] - window]
+        final_rise[p] = float(tail.mean())
+        ripple[p] = float(tail.std())
+    return Fig2Result(
+        idle_quantum=idle_quantum,
+        series=series,
+        final_rise=final_rise,
+        ripple_std=ripple,
+    )
+
+
+# ======================================================================
+# Figure 3 — efficiency vs idle quantum length
+# ======================================================================
+@dataclass
+class Fig3Result:
+    """Efficiency (temperature:throughput) over the (p, L) grid."""
+
+    sweep: SweepResult
+    efficiency: Dict[Tuple[float, float], float]  # (p, L_ms) -> ratio
+
+    def curve(self, p: float) -> List[Tuple[float, float]]:
+        pairs = [
+            (l_ms, eff) for (pp, l_ms), eff in self.efficiency.items() if pp == p
+        ]
+        return sorted(pairs)
+
+    def render(self) -> str:
+        ps = sorted({p for p, _ in self.efficiency})
+        ls = sorted({l for _, l in self.efficiency})
+        rows = []
+        for l_ms in ls:
+            rows.append([l_ms] + [self.efficiency.get((p, l_ms), float("nan")) for p in ps])
+        return format_table(
+            ["L [ms]"] + [f"p={p:g}" for p in ps],
+            rows,
+            title="Figure 3: efficiency (temp reduction : throughput reduction)",
+        )
+
+
+def fig3_efficiency(
+    config: ExperimentConfig,
+    *,
+    ps: Sequence[float] = FIG3_PS,
+    ls_ms: Sequence[float] = FIG3_LS_MS,
+) -> Fig3Result:
+    sweep = sweep_dimetrodon(config, ps=ps, ls_ms=ls_ms)
+    efficiency = {
+        (pt.params["p"], pt.params["L_ms"]): pt.efficiency for pt in sweep.points
+    }
+    return Fig3Result(sweep=sweep, efficiency=efficiency)
+
+
+# ======================================================================
+# Figure 4 — technique comparison (Dimetrodon vs VFS vs p4tcc)
+# ======================================================================
+@dataclass
+class Fig4Result:
+    dimetrodon: SweepResult
+    vfs: SweepResult
+    tcc: SweepResult
+    fit: PowerLawFit
+    #: r where VFS overtakes Dimetrodon (paper: ≈0.30), None if never.
+    crossover: Optional[float]
+
+    def render(self) -> str:
+        lines = ["Figure 4: wide-range sweeps vs other techniques"]
+        for sweep in (self.dimetrodon, self.vfs, self.tcc):
+            boundary = pareto_boundary(sweep.points)
+            rows = [
+                [
+                    ", ".join(f"{k}={v:g}" for k, v in pt.params.items()),
+                    percent(pt.temp_reduction),
+                    percent(pt.throughput_reduction),
+                    pt.efficiency,
+                ]
+                for pt in boundary
+            ]
+            lines.append(
+                format_table(
+                    ["config", "temp red.", "tput red.", "efficiency"],
+                    rows,
+                    title=f"{sweep.technique} pareto boundary",
+                )
+            )
+        lines.append(f"dimetrodon fit: {self.fit.describe()}")
+        if self.crossover is not None:
+            lines.append(
+                f"VFS overtakes Dimetrodon at r = {percent(self.crossover)} "
+                "(paper: ~30%)"
+            )
+        else:
+            lines.append("no Dimetrodon/VFS crossover in the overlapping range")
+        return "\n".join(lines)
+
+
+def fig4_technique_comparison(
+    config: ExperimentConfig,
+    *,
+    ps: Sequence[float] = FIG4_PS,
+    ls_ms: Sequence[float] = FIG4_LS_MS,
+) -> Fig4Result:
+    dim = sweep_dimetrodon(config, ps=ps, ls_ms=ls_ms)
+    vfs = sweep_vfs(config)
+    tcc = sweep_tcc(config)
+    fit = fit_power_law(dim.points, r_max=0.95)
+    crossover = crossover_reduction(dim.points, vfs.points)
+    return Fig4Result(dimetrodon=dim, vfs=vfs, tcc=tcc, fit=fit, crossover=crossover)
+
+
+# ======================================================================
+# Figure 5 — per-thread vs global control
+# ======================================================================
+@dataclass
+class Fig5Point:
+    mode: str  # "per-thread" | "global"
+    p: float
+    idle_quantum: float
+    temp_reduction: float
+    cool_throughput: float  # relative to uninjected run
+
+
+@dataclass
+class Fig5Result:
+    points: List[Fig5Point]
+    baseline_rise: float
+
+    def series(self, mode: str) -> List[Tuple[float, float]]:
+        return sorted(
+            (pt.temp_reduction, pt.cool_throughput)
+            for pt in self.points
+            if pt.mode == mode
+        )
+
+    def render(self) -> str:
+        rows = [
+            [pt.mode, pt.p, pt.idle_quantum * 1e3, percent(pt.temp_reduction), percent(pt.cool_throughput)]
+            for pt in sorted(self.points, key=lambda q: (q.mode, q.temp_reduction))
+        ]
+        return format_table(
+            ["mode", "p", "L [ms]", "temp red.", "cool throughput"],
+            rows,
+            title="Figure 5: global vs thread-specific control "
+            f"(baseline rise {self.baseline_rise:.1f}C)",
+        )
+
+
+def fig5_per_thread_control(
+    config: ExperimentConfig,
+    *,
+    configs: Sequence[Tuple[float, float]] = (
+        (0.25, 0.010),
+        (0.5, 0.010),
+        (0.5, 0.050),
+        (0.75, 0.050),
+        (0.75, 0.100),
+        (0.9, 0.100),
+    ),
+    burn_time: Optional[float] = None,
+    sleep_time: Optional[float] = None,
+    duration: Optional[float] = None,
+) -> Fig5Result:
+    """The §3.6 demonstration: a duty-cycled "cool" process co-located
+    with four hot calculix instances, under global vs per-thread policy."""
+    run_for = duration or config.characterization_duration
+    # Scale the paper's 6 s / 60 s duty cycle to the run length so a
+    # handful of cool iterations always fit.  The sleep fraction is
+    # compressed relative to the paper's 1:10 so that the global
+    # policy's per-iteration slowdown is visible within a short run.
+    scale = run_for / 300.0
+    burn = burn_time if burn_time is not None else max(6.0 * scale, 1.0)
+    sleep = sleep_time if sleep_time is not None else max(24.0 * scale, 4.0 * burn)
+
+    def run_mix(mode: str, p: float, idle_quantum: float):
+        machine = Machine(config)
+        mix = build_hot_cool_mix(
+            machine.scheduler, burn_time=burn, sleep_time=sleep
+        )
+        if p > 0:
+            if mode == "global":
+                machine.control.set_global_policy(p, idle_quantum)
+            else:
+                for thread in mix.hot_threads:
+                    machine.control.set_thread_policy(thread, p, idle_quantum)
+        machine.run(run_for)
+        return machine, mix
+
+    base_machine, base_mix = run_mix("global", 0.0, 0.010)
+    base_temp = base_machine.mean_core_temp_over_window()
+    base_cool_work = base_mix.cool_thread.stats.work_done
+    baseline_rise = base_temp - base_machine.idle_mean_temp
+
+    points: List[Fig5Point] = []
+    for mode in ("per-thread", "global"):
+        for p, idle_quantum in configs:
+            machine, mix = run_mix(mode, p, idle_quantum)
+            temp = machine.mean_core_temp_over_window()
+            points.append(
+                Fig5Point(
+                    mode=mode,
+                    p=p,
+                    idle_quantum=idle_quantum,
+                    temp_reduction=relative_reduction(
+                        base_temp, temp, base_machine.idle_mean_temp
+                    ),
+                    cool_throughput=mix.cool_thread.stats.work_done / base_cool_work,
+                )
+            )
+    return Fig5Result(points=points, baseline_rise=baseline_rise)
+
+
+# ======================================================================
+# Figure 6 — web server QoS vs temperature reduction
+# ======================================================================
+@dataclass
+class Fig6Point:
+    p: float
+    idle_quantum: float
+    temp_reduction: float
+    qos_good: float  # relative to baseline QoS
+    qos_tolerable: float
+    mean_response: float
+
+
+@dataclass
+class Fig6Result:
+    points: List[Fig6Point]
+    baseline_rise: float
+    baseline_good: float
+    baseline_tolerable: float
+    offered_load_per_core: float
+
+    def render(self) -> str:
+        rows = [
+            [
+                pt.p,
+                pt.idle_quantum * 1e3,
+                percent(pt.temp_reduction),
+                percent(pt.qos_good),
+                percent(pt.qos_tolerable),
+                pt.mean_response,
+            ]
+            for pt in sorted(self.points, key=lambda q: q.temp_reduction)
+        ]
+        title = (
+            "Figure 6: web workload QoS vs temperature reduction "
+            f"(baseline rise {self.baseline_rise:.1f}C, "
+            f"load/core {percent(self.offered_load_per_core)})"
+        )
+        return format_table(
+            ["p", "L [ms]", "temp red.", "QoS good", "QoS tolerable", "mean resp [s]"],
+            rows,
+            title=title,
+        )
+
+
+def fig6_webserver_qos(
+    config: ExperimentConfig,
+    *,
+    configs: Sequence[Tuple[float, float]] = (
+        (0.25, 0.025),
+        (0.5, 0.025),
+        (0.75, 0.025),
+        (0.9, 0.025),
+        (0.5, 0.050),
+        (0.65, 0.050),
+        (0.75, 0.050),
+        (0.5, 0.100),
+        (0.65, 0.100),
+    ),
+    duration: Optional[float] = None,
+    warmup: float = 5.0,
+) -> Fig6Result:
+    """SPECWeb-like QoS under injection (§3.7)."""
+    run_for = duration or config.characterization_duration
+
+    def run_web(p: float, idle_quantum: float):
+        machine = Machine(config)
+        server = WebServer(machine.scheduler, machine.rng.stream("web"))
+        if p > 0:
+            machine.control.set_global_policy(p, idle_quantum)
+        machine.run(run_for)
+        good = server.log.qos_fraction(QOS_GOOD, start=warmup, end=run_for - QOS_TOLERABLE)
+        tolerable = server.log.qos_fraction(
+            QOS_TOLERABLE, start=warmup, end=run_for - QOS_TOLERABLE
+        )
+        mean_resp = server.log.mean_response_time(start=warmup, end=run_for - QOS_TOLERABLE)
+        return machine, server, good, tolerable, mean_resp
+
+    base_machine, base_server, base_good, base_tol, _ = run_web(0.0, 0.1)
+    base_temp = base_machine.mean_core_temp_over_window()
+    baseline_rise = base_temp - base_machine.idle_mean_temp
+
+    points: List[Fig6Point] = []
+    for p, idle_quantum in configs:
+        machine, server, good, tolerable, mean_resp = run_web(p, idle_quantum)
+        temp = machine.mean_core_temp_over_window()
+        points.append(
+            Fig6Point(
+                p=p,
+                idle_quantum=idle_quantum,
+                temp_reduction=relative_reduction(
+                    base_temp, temp, base_machine.idle_mean_temp
+                ),
+                qos_good=good / base_good if base_good > 0 else 0.0,
+                qos_tolerable=tolerable / base_tol if base_tol > 0 else 0.0,
+                mean_response=mean_resp,
+            )
+        )
+    return Fig6Result(
+        points=points,
+        baseline_rise=baseline_rise,
+        baseline_good=base_good,
+        baseline_tolerable=base_tol,
+        offered_load_per_core=base_server.offered_load_per_core,
+    )

@@ -1,0 +1,167 @@
+"""The assembled testbed: chip + thermal + scheduler + instruments.
+
+A :class:`Machine` is the simulated equivalent of the paper's 1U server
+(§3.2).  It wires the discrete-event simulator to the physics: every
+time the simulated clock advances, the thermal network is integrated
+over the elapsed interval with the chip's current per-core power state,
+splitting at C-state promotion instants so idle power is time-accurate.
+
+The machine starts from *thermal equilibrium at idle* — the paper's
+baseline "idle temperature" — so temperature-rise metrics are
+well-defined from t = 0.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.injector import IdleInjector, IdleMode
+from ..cpu.chip import Chip
+from ..errors import ConfigurationError
+from ..instruments.powermeter import PowerMeter
+from ..instruments.templog import TemperatureLog
+from ..sched.scheduler import Scheduler
+from ..sched.syscalls import DimetrodonControl
+from ..sim.engine import Simulator
+from ..sim.rng import RngRegistry
+from ..thermal.floorplan import build_network
+from ..thermal.rcnetwork import ThermalIntegrator
+from ..thermal.sensors import SensorBank
+from .config import ExperimentConfig
+
+
+class Machine:
+    """A fully wired simulated server."""
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        *,
+        idle_mode: IdleMode = IdleMode.HALT,
+        co_schedule_smt: bool = False,
+    ):
+        self.config = config or ExperimentConfig()
+        cfg = self.config
+
+        self.sim = Simulator()
+        self.rng = RngRegistry(cfg.seed)
+        self.chip = Chip(
+            cfg.power,
+            num_cores=cfg.num_cores,
+            smt=cfg.smt,
+            cstate_params=cfg.cstates,
+            c1e_enabled=cfg.c1e_enabled,
+        )
+        self.network = build_network(cfg.thermal, cfg.num_cores)
+
+        # --- idle-equilibrium initial condition -----------------------
+        for core in self.chip.cores:
+            core.set_idle(-1e6)  # long-idle: deep state from the start
+        self.integrator = ThermalIntegrator(
+            self.network, max_substep=cfg.thermal.max_substep
+        )
+        _, idle_power_fn = self.chip.power_function(time=0.0)
+        self.integrator.settle(idle_power_fn)
+        #: Per-core idle temperatures — the paper's baseline, °C.
+        self.idle_core_temps = self.integrator.temps[: cfg.num_cores].copy()
+
+        # --- OS and Dimetrodon ----------------------------------------
+        self.injector = IdleInjector(mode=idle_mode, co_schedule_smt=co_schedule_smt)
+        if cfg.scheduler_queue == "ule":
+            from ..sched.ule import UleRunqueue
+
+            runqueue = UleRunqueue(num_cores=cfg.num_cores)
+        elif cfg.scheduler_queue == "bsd":
+            runqueue = None  # Scheduler builds the default 4.4BSD MLFQ
+        else:
+            raise ConfigurationError(
+                f"unknown scheduler_queue {cfg.scheduler_queue!r} (bsd|ule)"
+            )
+        self.scheduler = Scheduler(
+            self.sim,
+            self.chip,
+            quantum=cfg.quantum,
+            context_switch_cost=cfg.context_switch_cost,
+            injector=self.injector,
+            runqueue=runqueue,
+        )
+        self.control = DimetrodonControl(self.scheduler, rng=self.rng.stream("inject"))
+
+        # --- instruments ----------------------------------------------
+        meter_rng = self.rng.stream("clamp") if cfg.clamp_gain_error > 0 else None
+        self.powermeter = PowerMeter(
+            clamp_gain_error=cfg.clamp_gain_error, rng=meter_rng
+        )
+        core_nodes = list(range(cfg.num_cores))
+        if cfg.noisy_sensors:
+            self.sensors = SensorBank.coretemp(core_nodes, self.rng.stream("sensors"))
+        else:
+            self.sensors = SensorBank.ideal(core_nodes)
+        self.templog = TemperatureLog(
+            self.sim,
+            lambda: self.sensors.read(self.integrator.temps),
+            period=cfg.temp_sample_period,
+        )
+
+        self.sim.add_advance_listener(self._advance_physics)
+        self.scheduler.start()
+
+    # ------------------------------------------------------------------
+    # Physics co-simulation
+    # ------------------------------------------------------------------
+    def _advance_physics(self, t0: float, t1: float) -> None:
+        """Integrate thermals over [t0, t1], splitting at C-state edges."""
+        edges = [t0] + self.chip.cstate_breakpoints(t0, t1) + [t1]
+        for a, b in zip(edges, edges[1:]):
+            if b <= a:
+                continue
+            # Evaluate C-states at the piece midpoint: a piece boundary
+            # sits exactly on a promotion instant, where float roundoff
+            # on the comparison could misclassify the whole piece.
+            cstates, power_fn = self.chip.power_function(time=0.5 * (a + b))
+            result = self.integrator.advance(b - a, power_fn)
+            self.chip.record_residency(cstates, b - a)
+            self.powermeter.record_segment(a, b - a, result.average_power)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.sim.run(until=self.sim.now + duration)
+
+    # ------------------------------------------------------------------
+    # Convenience measurements
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def core_temps(self) -> np.ndarray:
+        """Current true per-core temperatures, °C."""
+        return self.integrator.temps[: self.config.num_cores].copy()
+
+    @property
+    def idle_mean_temp(self) -> float:
+        """Mean per-core idle (baseline) temperature, °C."""
+        return float(np.mean(self.idle_core_temps))
+
+    def mean_core_temp_over_window(self, window: Optional[float] = None) -> float:
+        """Mean core temperature over the trailing window (default: the
+        config's measurement window — the paper's last-30 s average)."""
+        return self.templog.mean_over_window(window or self.config.measure_window)
+
+    def temp_rise_over_idle(self, window: Optional[float] = None) -> float:
+        """Mean core temperature rise over the idle baseline, °C."""
+        return self.mean_core_temp_over_window(window) - self.idle_mean_temp
+
+    def total_work_done(self) -> float:
+        """Total useful work completed by all threads, CPU-seconds."""
+        return sum(t.stats.work_done for t in self.scheduler.threads)
+
+    def energy(self, start: float = -np.inf, end: float = np.inf) -> float:
+        """Package energy over [start, end], J."""
+        return self.powermeter.energy(start, end)

@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+and tables report, so a reader can compare shapes side by side without
+a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width text table."""
+    str_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], *, max_points: int = 24
+) -> str:
+    """A compact one-line-per-point series rendering, downsampled."""
+    n = len(xs)
+    if n == 0:
+        return f"{name}: (empty)"
+    step = max(1, n // max_points)
+    pairs = [f"({xs[i]:.3g}, {ys[i]:.3g})" for i in range(0, n, step)]
+    return f"{name}: " + " ".join(pairs)
+
+
+def percent(value: float) -> str:
+    return f"{100.0 * value:.1f}%"

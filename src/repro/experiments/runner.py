@@ -1,0 +1,177 @@
+"""Single-configuration experiment runs.
+
+The paper's basic measurement (§3.4) is: run a workload on all cores
+under a static (p, L) policy for 300 s, then report the mean core
+temperature over the last 30 s (relative to the idle baseline) and the
+throughput (relative to the unconstrained run).  This module implements
+that run and its finite-work variant used for model validation (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.injector import IdleMode
+from ..cpu.dvfs import OperatingPoint
+from ..cpu.tcc import TccSetting
+from ..errors import ConfigurationError
+from ..sched.thread import Thread
+from ..workloads.cpuburn import CpuBurn, FiniteCpuBurn
+from ..workloads.spec import SpecWorkload
+from .config import ExperimentConfig
+from .machine import Machine
+
+
+def make_cpu_workload(name: str):
+    """Factory for all-core CPU-bound workloads by name."""
+    if name == "cpuburn":
+        return CpuBurn()
+    return SpecWorkload(name)
+
+
+@dataclass
+class CharacterizationResult:
+    """Outcome of one static-policy characterisation run."""
+
+    workload: str
+    p: float
+    idle_quantum: float
+    duration: float
+    #: Mean core temperature over the trailing measurement window, °C.
+    mean_temp: float
+    #: Mean core temperature rise over the idle baseline, °C.
+    temp_rise: float
+    #: Mean per-core idle (baseline) temperature, °C.
+    idle_temp: float
+    #: Total useful work completed, CPU-seconds.
+    work: float
+    #: Package energy over the run, J.
+    energy: float
+    #: Extra per-run details (injection stats, settings).
+    details: Dict[str, float] = field(default_factory=dict)
+
+
+def run_characterization(
+    config: ExperimentConfig,
+    *,
+    workload: str = "cpuburn",
+    p: float = 0.0,
+    idle_quantum: float = 0.025,
+    duration: Optional[float] = None,
+    deterministic: bool = False,
+    idle_mode: IdleMode = IdleMode.HALT,
+    operating_point: Optional[OperatingPoint] = None,
+    tcc: Optional[TccSetting] = None,
+) -> CharacterizationResult:
+    """Run ``num_cores`` instances of a CPU-bound workload under a
+    static policy and measure the §3.4 metrics."""
+    machine = Machine(config, idle_mode=idle_mode)
+    if operating_point is not None:
+        machine.chip.set_operating_point(operating_point)
+    if tcc is not None:
+        machine.chip.set_tcc(tcc)
+    if p > 0:
+        machine.control.set_global_policy(p, idle_quantum, deterministic=deterministic)
+
+    for i in range(config.num_cores):
+        machine.scheduler.spawn(make_cpu_workload(workload), name=f"{workload}-{i}")
+
+    run_for = duration or config.characterization_duration
+    machine.run(run_for)
+
+    mean_temp = machine.mean_core_temp_over_window()
+    return CharacterizationResult(
+        workload=workload,
+        p=p,
+        idle_quantum=idle_quantum,
+        duration=run_for,
+        mean_temp=mean_temp,
+        temp_rise=mean_temp - machine.idle_mean_temp,
+        idle_temp=machine.idle_mean_temp,
+        work=machine.total_work_done(),
+        energy=machine.energy(),
+        details={
+            "injected_quanta": float(machine.scheduler.stats.injected_quanta),
+            "dispatches": float(machine.scheduler.stats.dispatches),
+            "injection_fraction": machine.injector.stats.injection_fraction,
+        },
+    )
+
+
+@dataclass
+class FiniteRunResult:
+    """Outcome of a run-to-completion experiment (model validation)."""
+
+    p: float
+    idle_quantum: float
+    total_cpu: float
+    #: Per-thread completion times (start -> exit), s.
+    runtimes: List[float]
+    #: Package energy over the measured window, J.
+    energy: float
+    #: Wall-clock window the energy was measured over, s.
+    window: float
+    #: Mean times each thread was dispatched (the model's S).
+    mean_schedules: float
+
+    @property
+    def mean_runtime(self) -> float:
+        return float(np.mean(self.runtimes))
+
+
+def run_finite_cpuburn(
+    config: ExperimentConfig,
+    *,
+    total_cpu: float,
+    p: float = 0.0,
+    idle_quantum: float = 0.050,
+    deterministic: bool = False,
+    window: Optional[float] = None,
+    max_duration: float = 3600.0,
+) -> FiniteRunResult:
+    """Run one finite cpuburn per core to completion.
+
+    ``window``: if given, energy is measured over exactly this window
+    (the §3.3 methodology compares equal windows across policies);
+    otherwise the window runs to the last thread exit.
+    """
+    if total_cpu <= 0:
+        raise ConfigurationError("total_cpu must be positive")
+    machine = Machine(config)
+    if p > 0:
+        machine.control.set_global_policy(p, idle_quantum, deterministic=deterministic)
+
+    threads: List[Thread] = []
+    for i in range(config.num_cores):
+        threads.append(
+            machine.scheduler.spawn(FiniteCpuBurn(total_cpu), name=f"burn-{i}")
+        )
+
+    # Run until every thread exits (in chunks so instruments keep pace).
+    while any(t.alive for t in threads):
+        if machine.now > max_duration:
+            raise ConfigurationError(
+                f"finite run did not complete within {max_duration}s"
+            )
+        machine.run(1.0)
+
+    finish = max(t.stats.exit_time for t in threads)
+    measure_window = window if window is not None else finish
+    if window is not None and machine.now < window:
+        machine.run(window - machine.now)  # idle tail for race-to-idle
+    energy = machine.energy(0.0, measure_window)
+
+    runtimes = [t.stats.exit_time for t in threads]
+    mean_schedules = float(np.mean([t.stats.scheduled_count for t in threads]))
+    return FiniteRunResult(
+        p=p,
+        idle_quantum=idle_quantum,
+        total_cpu=total_cpu,
+        runtimes=runtimes,
+        energy=energy,
+        window=measure_window,
+        mean_schedules=mean_schedules,
+    )

@@ -1,0 +1,118 @@
+"""Parameter sweeps: (p, L) grids, VFS ladders, TCC ladders.
+
+These produce the clouds of trade-off points from which Figures 3 and 4
+extract Pareto boundaries and §3.4/Table 1 fit power laws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.pareto import TradeoffPoint
+from ..cpu.dvfs import OperatingPoint
+from ..cpu.tcc import TccSetting, setpoints
+from ..instruments.stats import relative_reduction, throughput_reduction
+from ..units import MS
+from .config import ExperimentConfig
+from .runner import CharacterizationResult, run_characterization
+
+#: Figure 3's grid: idle proportions and quanta lengths.
+FIG3_PS = (0.1, 0.25, 0.5, 0.75)
+FIG3_LS_MS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+#: Figure 4's wide grid (coarser per-axis, broader coverage).
+FIG4_PS = (0.05, 0.1, 0.25, 0.4, 0.5, 0.65, 0.75, 0.9)
+FIG4_LS_MS = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+
+@dataclass
+class SweepResult:
+    """A baseline plus a cloud of trade-off points."""
+
+    technique: str
+    workload: str
+    baseline: CharacterizationResult
+    points: List[TradeoffPoint] = field(default_factory=list)
+    #: Raw per-configuration results, keyed like the point params.
+    runs: List[CharacterizationResult] = field(default_factory=list)
+
+    def tradeoff(self, run: CharacterizationResult, params: Dict[str, float]) -> TradeoffPoint:
+        """Convert a run into the paper's (r, T) coordinates."""
+        r = relative_reduction(
+            self.baseline.mean_temp, run.mean_temp, self.baseline.idle_temp
+        )
+        t = throughput_reduction(self.baseline.work, run.work)
+        return TradeoffPoint(temp_reduction=r, throughput_reduction=t, params=params)
+
+    def add(self, run: CharacterizationResult, params: Dict[str, float]) -> TradeoffPoint:
+        point = self.tradeoff(run, params)
+        self.points.append(point)
+        self.runs.append(run)
+        return point
+
+
+def sweep_dimetrodon(
+    config: ExperimentConfig,
+    *,
+    workload: str = "cpuburn",
+    ps: Sequence[float] = FIG3_PS,
+    ls_ms: Sequence[float] = FIG3_LS_MS,
+    deterministic: bool = False,
+    duration: Optional[float] = None,
+) -> SweepResult:
+    """Sweep idle-injection (p, L) over a grid."""
+    baseline = run_characterization(config, workload=workload, duration=duration)
+    sweep = SweepResult(technique="dimetrodon", workload=workload, baseline=baseline)
+    for p in ps:
+        for l_ms in ls_ms:
+            run = run_characterization(
+                config,
+                workload=workload,
+                p=p,
+                idle_quantum=l_ms * MS,
+                deterministic=deterministic,
+                duration=duration,
+            )
+            sweep.add(run, {"p": p, "L_ms": l_ms})
+    return sweep
+
+
+def sweep_vfs(
+    config: ExperimentConfig,
+    *,
+    workload: str = "cpuburn",
+    points: Optional[Sequence[OperatingPoint]] = None,
+    duration: Optional[float] = None,
+) -> SweepResult:
+    """Sweep static voltage/frequency setpoints (Figure 4's VFS)."""
+    baseline = run_characterization(config, workload=workload, duration=duration)
+    sweep = SweepResult(technique="vfs", workload=workload, baseline=baseline)
+    from ..cpu.dvfs import xeon_e5520_table
+
+    table_points = points if points is not None else list(xeon_e5520_table())
+    for point in table_points:
+        run = run_characterization(
+            config, workload=workload, operating_point=point, duration=duration
+        )
+        sweep.add(run, {"freq_ghz": point.frequency / 1e9, "voltage": point.voltage})
+    return sweep
+
+
+def sweep_tcc(
+    config: ExperimentConfig,
+    *,
+    workload: str = "cpuburn",
+    duties: Optional[Sequence[TccSetting]] = None,
+    duration: Optional[float] = None,
+) -> SweepResult:
+    """Sweep thermal-control-circuit duty setpoints (Figure 4's p4tcc)."""
+    baseline = run_characterization(config, workload=workload, duration=duration)
+    sweep = SweepResult(technique="p4tcc", workload=workload, baseline=baseline)
+    settings = duties if duties is not None else setpoints(8)[:-1]
+    for setting in settings:
+        run = run_characterization(
+            config, workload=workload, tcc=setting, duration=duration
+        )
+        sweep.add(run, {"duty": setting.duty})
+    return sweep

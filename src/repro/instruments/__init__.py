@@ -1,0 +1,18 @@
+"""Measurement instruments: power meter, temperature log, statistics."""
+
+from .powermeter import PowerMeter, PowerSegment
+from .stats import efficiency, relative_reduction, summarize, throughput_reduction
+from .templog import TemperatureLog
+from .trace import SchedEvent, SchedulerTracer
+
+__all__ = [
+    "PowerMeter",
+    "PowerSegment",
+    "SchedEvent",
+    "SchedulerTracer",
+    "TemperatureLog",
+    "efficiency",
+    "relative_reduction",
+    "summarize",
+    "throughput_reduction",
+]

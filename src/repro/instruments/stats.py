@@ -1,0 +1,60 @@
+"""Small statistics helpers shared by experiments and reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+def relative_reduction(baseline: float, value: float, floor: float) -> float:
+    """Reduction of ``value`` below ``baseline``, normalised by the
+    distance from ``baseline`` down to ``floor``.
+
+    This is the paper's temperature-reduction metric (§3.4): "an idle
+    temperature of 40°C, an unconstrained temperature 60°C, and a
+    resulting temperature of 50°C would constitute a 50% reduction in
+    temperature over idle" — i.e. (60-50)/(60-40).
+    """
+    span = baseline - floor
+    if span <= 0:
+        raise AnalysisError(
+            f"baseline ({baseline}) must exceed the floor ({floor}) "
+            "for a relative reduction to be meaningful"
+        )
+    return (baseline - value) / span
+
+
+def throughput_reduction(baseline_work: float, work: float) -> float:
+    """Fractional throughput loss relative to a baseline."""
+    if baseline_work <= 0:
+        raise AnalysisError("baseline work must be positive")
+    return 1.0 - work / baseline_work
+
+
+def efficiency(temp_reduction: float, tput_reduction: float) -> float:
+    """The paper's efficiency metric: temperature : throughput ratio.
+
+    A 16:1 efficiency means 16 % temperature reduction per 1 % of
+    throughput given up (Figure 3's y-axis).  Returns ``inf`` for free
+    cooling (no throughput loss).
+    """
+    if tput_reduction <= 0:
+        return float("inf") if temp_reduction > 0 else 0.0
+    return temp_reduction / tput_reduction
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Mean/std/min/max summary used in text reports."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot summarise an empty sequence")
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "n": int(arr.size),
+    }

@@ -1,0 +1,79 @@
+"""Periodic temperature logging (the ``coretemp`` poller).
+
+The paper reads per-core temperatures from the FreeBSD ``coretemp``
+module and reports averages over trailing windows (e.g. "the average
+temperature over the last 30 seconds of a 300 second execution",
+§3.4).  :class:`TemperatureLog` samples a reader callback at a fixed
+period and provides exactly those window statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..sim.engine import Simulator
+from ..sim.process import PeriodicTask
+
+
+class TemperatureLog:
+    """Samples per-core temperatures on a fixed period."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        reader: Callable[[], np.ndarray],
+        *,
+        period: float = 1.0,
+    ):
+        if period <= 0:
+            raise AnalysisError("sample period must be positive")
+        self.period = period
+        self._sim = sim
+        self._reader = reader
+        self._times: List[float] = []
+        self._samples: List[np.ndarray] = []
+        self._task = PeriodicTask(sim, period, self._sample, phase=0.0)
+
+    def _sample(self) -> None:
+        self._times.append(self._sim.now)
+        self._samples.append(np.asarray(self._reader(), dtype=float))
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def samples(self) -> np.ndarray:
+        """Array of shape (num_samples, num_cores)."""
+        if not self._samples:
+            return np.empty((0, 0))
+        return np.vstack(self._samples)
+
+    def core_series(self, core: int) -> np.ndarray:
+        return self.samples[:, core]
+
+    def mean_over_window(self, window: float, *, end: Optional[float] = None) -> float:
+        """Mean of all cores' readings over the trailing ``window`` s."""
+        per_core = self.per_core_mean_over_window(window, end=end)
+        return float(np.mean(per_core))
+
+    def per_core_mean_over_window(
+        self, window: float, *, end: Optional[float] = None
+    ) -> np.ndarray:
+        times = self.times
+        if times.size == 0:
+            raise AnalysisError("no temperature samples recorded")
+        end_time = float(times[-1]) if end is None else end
+        mask = (times >= end_time - window) & (times <= end_time)
+        if not np.any(mask):
+            raise AnalysisError(
+                f"no samples in the trailing {window}s window ending at {end_time}s"
+            )
+        return self.samples[mask].mean(axis=0)

@@ -1,0 +1,79 @@
+"""Scheduler event tracing.
+
+The scheduler emits structured events (dispatches, injections, idle
+transitions, preemptions, exits) to registered listeners;
+:class:`SchedulerTracer` collects them and can render a compact
+per-core timeline — the tool you reach for when a policy behaves
+unexpectedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class SchedEvent:
+    """One scheduler event."""
+
+    time: float
+    kind: str  # run | slice_end | inject | inject_end | idle | preempt | exit | wake
+    core: Optional[int] = None
+    context: Optional[int] = None
+    tid: Optional[int] = None
+    thread: Optional[str] = None
+
+
+class SchedulerTracer:
+    """Collects scheduler events; attach via ``scheduler.event_listeners``."""
+
+    def __init__(self, *, max_events: int = 200_000):
+        if max_events <= 0:
+            raise AnalysisError("max_events must be positive")
+        self.max_events = max_events
+        self.events: List[SchedEvent] = []
+        self.dropped = 0
+
+    def __call__(self, event: SchedEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[SchedEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_thread(self, tid: int) -> List[SchedEvent]:
+        return [e for e in self.events if e.tid == tid]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    def timeline(
+        self, *, start: float = 0.0, end: Optional[float] = None, limit: int = 60
+    ) -> str:
+        """Human-readable event log for a window."""
+        end_time = end if end is not None else float("inf")
+        lines = []
+        for event in self.events:
+            if not start <= event.time <= end_time:
+                continue
+            where = ""
+            if event.core is not None:
+                where = f"core{event.core}"
+                if event.context is not None:
+                    where += f".{event.context}"
+            who = event.thread or (f"tid{event.tid}" if event.tid else "")
+            lines.append(f"{event.time * 1e3:10.3f}ms  {event.kind:<11s} {where:<8s} {who}")
+            if len(lines) >= limit:
+                lines.append(f"... (truncated at {limit} events)")
+                break
+        return "\n".join(lines) if lines else "(no events in window)"

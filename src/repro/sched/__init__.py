@@ -1,0 +1,21 @@
+"""OS scheduler substrate: threads, runqueue, dispatch, control surface."""
+
+from .runqueue import MultiLevelFeedbackQueue
+from .scheduler import CoreSlot, Scheduler, SchedulerStats
+from .syscalls import DimetrodonControl, ThreadInfo
+from .thread import Thread, ThreadKind, ThreadState, ThreadStats
+from .ule import UleRunqueue
+
+__all__ = [
+    "CoreSlot",
+    "DimetrodonControl",
+    "MultiLevelFeedbackQueue",
+    "Scheduler",
+    "SchedulerStats",
+    "Thread",
+    "ThreadInfo",
+    "ThreadKind",
+    "ThreadState",
+    "ThreadStats",
+    "UleRunqueue",
+]

@@ -1,0 +1,7 @@
+"""Discrete-event simulation substrate (engine, RNG streams, processes)."""
+
+from .engine import Event, Simulator
+from .process import PeriodicTask, Process
+from .rng import RngRegistry
+
+__all__ = ["Event", "Simulator", "PeriodicTask", "Process", "RngRegistry"]

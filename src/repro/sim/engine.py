@@ -1,0 +1,193 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic calendar queue: callbacks are scheduled at
+absolute simulated times and dispatched in time order.  Ties are broken
+by insertion order so runs are fully deterministic.
+
+The scheduler, workloads, and instruments all run on top of this engine;
+the thermal model is advanced *lazily* between events by the machine
+model (see :mod:`repro.experiments.machine`), so the engine itself knows
+nothing about physics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry. Ordered by (time, sequence number)."""
+
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at` and can be cancelled.  A cancelled
+    event stays in the heap but is skipped at dispatch time (lazy
+    deletion), which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled", "dispatched")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.dispatched = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing. Idempotent."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has neither fired nor been cancelled."""
+        return not (self.cancelled or self.dispatched)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("done" if self.dispatched else "pending")
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock, in seconds.
+
+    Notes
+    -----
+    Components may register *advance listeners* via
+    :meth:`add_advance_listener`; each listener is invoked as
+    ``listener(previous_time, new_time)`` immediately before the clock
+    moves forward to dispatch the next event.  The machine model uses
+    this to integrate the thermal network over every inter-event gap,
+    so no physics is skipped no matter how sparse the event stream is.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._advance_listeners: List[Callable[[float, float], None]] = []
+        self._running = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Number of events dispatched so far."""
+        return self._event_count
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.9f}, clock is already at {self._now:.9f}"
+            )
+        event = Event(time, callback, args)
+        heapq.heappush(self._heap, _QueueEntry(time, next(self._seq), event))
+        return event
+
+    def add_advance_listener(self, listener: Callable[[float, float], None]) -> None:
+        """Register ``listener(old_time, new_time)`` for clock advances."""
+        self._advance_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self) -> bool:
+        """Dispatch the next pending event.
+
+        Returns True if an event ran, False if the queue was empty.
+        """
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self._advance_clock(event.time)
+            event.dispatched = True
+            self._event_count += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events in order until the queue empties or ``until``.
+
+        If ``until`` is given, all events with ``time <= until`` are
+        dispatched and the clock is left exactly at ``until`` (advance
+        listeners see the final partial interval too).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek_next_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None:
+                if until < self._now:
+                    raise SimulationError(
+                        f"run(until={until}) but clock already at {self._now}"
+                    )
+                self._advance_clock(until)
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _advance_clock(self, new_time: float) -> None:
+        if new_time < self._now:
+            raise SimulationError("clock went backwards")
+        if new_time == self._now:
+            return
+        old = self._now
+        for listener in self._advance_listeners:
+            listener(old, new_time)
+        self._now = new_time

@@ -1,0 +1,81 @@
+"""Simulated on-die temperature sensors.
+
+The paper reads per-core temperatures through FreeBSD's ``coretemp``
+module.  Real digital thermal sensors quantise to 1 °C and carry a few
+tenths of a degree of noise; both effects are modelled so analysis code
+is exercised against realistic data.  Sensors can also be configured
+ideal (no noise, no quantisation) for model-validation tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class TemperatureSensor:
+    """A quantised, noisy view of one thermal node."""
+
+    def __init__(
+        self,
+        node_index: int,
+        *,
+        quantization: float = 1.0,
+        noise_std: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if quantization < 0 or noise_std < 0:
+            raise ConfigurationError("sensor quantization/noise must be non-negative")
+        if noise_std > 0 and rng is None:
+            raise ConfigurationError("a noisy sensor needs an RNG stream")
+        self.node_index = node_index
+        self.quantization = quantization
+        self.noise_std = noise_std
+        self._rng = rng
+
+    def read(self, temps: Sequence[float]) -> float:
+        """Sample this sensor given the true node temperatures."""
+        value = float(temps[self.node_index])
+        if self.noise_std > 0:
+            value += float(self._rng.normal(0.0, self.noise_std))
+        if self.quantization > 0:
+            value = round(value / self.quantization) * self.quantization
+        return value
+
+
+class SensorBank:
+    """A set of per-core sensors read together, like ``coretemp``."""
+
+    def __init__(self, sensors: Sequence[TemperatureSensor]):
+        if not sensors:
+            raise ConfigurationError("sensor bank needs at least one sensor")
+        self.sensors = list(sensors)
+
+    @classmethod
+    def ideal(cls, node_indices: Sequence[int]) -> "SensorBank":
+        """Noise-free, unquantised sensors (for model validation)."""
+        return cls([TemperatureSensor(i, quantization=0.0) for i in node_indices])
+
+    @classmethod
+    def coretemp(
+        cls,
+        node_indices: Sequence[int],
+        rng: np.random.Generator,
+        *,
+        quantization: float = 1.0,
+        noise_std: float = 0.25,
+    ) -> "SensorBank":
+        """Sensors with coretemp-like 1 °C quantisation and mild noise."""
+        return cls(
+            [
+                TemperatureSensor(i, quantization=quantization, noise_std=noise_std, rng=rng)
+                for i in node_indices
+            ]
+        )
+
+    def read(self, temps: Sequence[float]) -> np.ndarray:
+        """Read every sensor; returns an array of per-core readings."""
+        return np.array([sensor.read(temps) for sensor in self.sensors])

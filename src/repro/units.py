@@ -1,0 +1,60 @@
+"""Unit conventions and helper constants.
+
+All quantities in this package use SI base units unless a name says
+otherwise:
+
+- time: seconds (``float``)
+- power: watts
+- energy: joules
+- temperature: degrees Celsius (thermal models are linear in temperature
+  differences, so Celsius and Kelvin are interchangeable for deltas)
+- frequency: hertz
+
+The constants below exist so call sites can say ``25 * MS`` instead of
+``0.025`` and stay self-documenting.
+"""
+
+from __future__ import annotations
+
+#: One microsecond, in seconds.
+US = 1e-6
+
+#: One millisecond, in seconds.
+MS = 1e-3
+
+#: One second.
+SECOND = 1.0
+
+#: One minute, in seconds.
+MINUTE = 60.0
+
+#: One megahertz, in hertz.
+MHZ = 1e6
+
+#: One gigahertz, in hertz.
+GHZ = 1e9
+
+
+def ms(value: float) -> float:
+    """Convert a value expressed in milliseconds to seconds."""
+    return value * MS
+
+
+def to_ms(seconds: float) -> float:
+    """Convert a value expressed in seconds to milliseconds."""
+    return seconds / MS
+
+
+def us(value: float) -> float:
+    """Convert a value expressed in microseconds to seconds."""
+    return value * US
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature in Celsius to Kelvin."""
+    return temp_c + 273.15
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature in Kelvin to Celsius."""
+    return temp_k - 273.15

@@ -1,0 +1,44 @@
+"""Workload generators: cpuburn, SPEC profiles, mixes, web serving."""
+
+from .base import BLOCK, Burst, NextBurst, SyntheticWorkload, Workload
+from .cpuburn import CpuBurn, DutyCycledBurn, FiniteCpuBurn
+from .mixes import HotCoolMix, build_hot_cool_mix
+from .spec import (
+    TABLE1_FIT,
+    TABLE1_RISE_PERCENT,
+    SpecProfile,
+    SpecWorkload,
+    activity_for_rise,
+    all_benchmarks,
+    spec_profile,
+)
+from .traces import TraceWorkload, synthesize_bursty_trace, trace_utilization
+from .webserver import QOS_GOOD, QOS_TOLERABLE, Request, RequestLog, WebServer
+
+__all__ = [
+    "BLOCK",
+    "Burst",
+    "CpuBurn",
+    "DutyCycledBurn",
+    "FiniteCpuBurn",
+    "HotCoolMix",
+    "NextBurst",
+    "QOS_GOOD",
+    "QOS_TOLERABLE",
+    "Request",
+    "RequestLog",
+    "SpecProfile",
+    "SpecWorkload",
+    "SyntheticWorkload",
+    "TABLE1_FIT",
+    "TABLE1_RISE_PERCENT",
+    "TraceWorkload",
+    "WebServer",
+    "Workload",
+    "synthesize_bursty_trace",
+    "trace_utilization",
+    "activity_for_rise",
+    "all_benchmarks",
+    "build_hot_cool_mix",
+    "spec_profile",
+]

@@ -1,0 +1,113 @@
+"""Tests for the reliability and cooling-cost analysis models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import BOLTZMANN_EV, CoolingModel, ReliabilityModel
+from repro.errors import ConfigurationError
+
+
+# ----------------------------------------------------------------------
+# Reliability (Arrhenius)
+# ----------------------------------------------------------------------
+def test_acceleration_is_one_at_reference():
+    model = ReliabilityModel(reference_temp=55.0)
+    assert model.acceleration_factor(55.0) == pytest.approx(1.0)
+    assert model.mttf_factor(55.0) == pytest.approx(1.0)
+
+
+def test_hotter_is_worse():
+    model = ReliabilityModel()
+    assert model.acceleration_factor(65.0) > 1.0
+    assert model.mttf_factor(65.0) < 1.0
+    assert model.acceleration_factor(45.0) < 1.0
+
+
+def test_arrhenius_magnitude():
+    """Rule of thumb: ~10 C hotter roughly halves electromigration MTTF."""
+    model = ReliabilityModel(activation_energy_ev=0.7, reference_temp=55.0)
+    factor = model.mttf_factor(65.0)
+    assert 0.4 < factor < 0.6
+
+
+def test_acceleration_matches_closed_form():
+    model = ReliabilityModel(activation_energy_ev=0.7, reference_temp=50.0)
+    t, t_ref = 60.0 + 273.15, 50.0 + 273.15
+    expected = math.exp((0.7 / BOLTZMANN_EV) * (1 / t_ref - 1 / t))
+    assert model.acceleration_factor(60.0) == pytest.approx(expected)
+
+
+def test_mean_acceleration_over_trace():
+    model = ReliabilityModel(reference_temp=55.0)
+    trace = [55.0, 55.0, 65.0]
+    expected = (1.0 + 1.0 + model.acceleration_factor(65.0)) / 3.0
+    assert model.mean_acceleration(trace) == pytest.approx(expected)
+
+
+def test_mttf_improvement_from_cooling():
+    model = ReliabilityModel()
+    hot = [55.0] * 10
+    cooled = [48.0] * 10
+    improvement = model.mttf_improvement(hot, cooled)
+    assert improvement > 1.3  # 7 C cooler buys real lifetime
+
+
+def test_reliability_validation():
+    with pytest.raises(ConfigurationError):
+        ReliabilityModel(activation_energy_ev=0.0)
+    with pytest.raises(ConfigurationError):
+        ReliabilityModel().mean_acceleration([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(t1=st.floats(20.0, 90.0), t2=st.floats(20.0, 90.0))
+def test_acceleration_monotone_property(t1, t2):
+    model = ReliabilityModel()
+    low, high = min(t1, t2), max(t1, t2)
+    assert model.acceleration_factor(low) <= model.acceleration_factor(high) + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Cooling cost
+# ----------------------------------------------------------------------
+def test_cooling_power_zero_heat():
+    assert CoolingModel().cooling_power(0.0) == 0.0
+
+
+def test_cooling_power_at_design_load():
+    model = CoolingModel(linear=0.2, quadratic_at_design=0.3, design_load=100.0)
+    # At design load: 0.2*100 + (0.3/100)*100^2 = 20 + 30 = 50 W.
+    assert model.cooling_power(100.0) == pytest.approx(50.0)
+    assert model.cooling_ratio(100.0) == pytest.approx(0.5)
+
+
+def test_cooling_burden_grows_with_load():
+    model = CoolingModel()
+    assert model.cooling_ratio(100.0) > model.cooling_ratio(50.0)
+
+
+def test_savings_superlinear():
+    """Shaving 10 W off a hot machine saves more cooling power than
+    shaving 10 W off a cool one (the quadratic chiller term)."""
+    model = CoolingModel()
+    hot_savings = model.savings(100.0, 90.0)
+    cool_savings = model.savings(40.0, 30.0)
+    assert hot_savings > cool_savings
+
+
+def test_annual_energy():
+    model = CoolingModel()
+    kwh = model.annual_energy_kwh(100.0)
+    assert kwh == pytest.approx(50.0 * 8766.0 / 1000.0)
+
+
+def test_cooling_validation():
+    with pytest.raises(ConfigurationError):
+        CoolingModel(design_load=0.0)
+    with pytest.raises(ConfigurationError):
+        CoolingModel(linear=-0.1)
+    with pytest.raises(ConfigurationError):
+        CoolingModel().cooling_power(-1.0)

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+def test_experiment_registry_covers_every_figure_and_table():
+    assert {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1"} <= set(EXPERIMENTS)
+    assert "validate-throughput" in EXPERIMENTS
+    assert "validate-energy" in EXPERIMENTS
+
+
+def test_parser_accepts_known_experiment():
+    args = build_parser().parse_args(["fig1", "--seed", "3"])
+    assert args.experiment == "fig1"
+    assert args.seed == 3
+    assert not args.full
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])
+
+
+def test_list_prints_descriptions(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out
+    assert "power trace" in out
+
+
+def test_run_experiment_returns_rendered_text():
+    text = run_experiment("fig1", seed=0)
+    assert "Figure 1" in text
+    assert "wall]" in text
+
+
+def test_main_runs_single_experiment(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out

@@ -1,0 +1,84 @@
+"""Tests for the closed-loop thermal setpoint controller."""
+
+import pytest
+
+from repro.core import ControllerGains, ThermalSetpointController
+from repro.errors import ConfigurationError
+from repro.experiments import Machine, fast_config
+from repro.workloads import CpuBurn
+
+
+def build(machine, setpoint, **kwargs):
+    return ThermalSetpointController(
+        machine.sim,
+        machine.control,
+        lambda: float(machine.core_temps.max()),
+        setpoint=setpoint,
+        **kwargs,
+    )
+
+
+def test_controller_validation():
+    machine = Machine(fast_config())
+    with pytest.raises(ConfigurationError):
+        build(machine, 50.0, period=0.0)
+    with pytest.raises(ConfigurationError):
+        build(machine, 50.0, idle_quantum=-1.0)
+    with pytest.raises(ConfigurationError):
+        build(machine, 50.0, p_max=1.5)
+
+
+def test_controller_idles_hot_workload_to_setpoint():
+    machine = Machine(fast_config())
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    # Unconstrained cpuburn settles around 52-55 C; ask for much cooler.
+    controller = build(machine, 44.0, idle_quantum=0.02, period=0.5)
+    machine.run(120.0)
+    final_temp = machine.mean_core_temp_over_window(10.0)
+    assert abs(final_temp - 44.0) < 1.5
+    assert controller.p > 0.05
+    assert controller.settled(window=10, tolerance=1.5)
+
+
+def test_controller_stays_off_when_cool():
+    machine = Machine(fast_config())
+    # No workload: temperatures sit at the idle baseline.
+    controller = build(machine, 60.0, period=0.5)
+    machine.run(20.0)
+    assert controller.p == 0.0
+    assert not controller.settled()  # mean far below setpoint
+
+
+def test_controller_history_records_samples():
+    machine = Machine(fast_config())
+    controller = build(machine, 50.0, period=1.0)
+    machine.run(5.5)
+    assert len(controller.history) == 5
+    sample = controller.history[0]
+    assert sample.time == pytest.approx(1.0)
+    assert sample.temperature > 0
+
+
+def test_controller_stop():
+    machine = Machine(fast_config())
+    controller = build(machine, 50.0, period=1.0)
+    machine.run(2.5)
+    controller.stop()
+    machine.run(5.0)
+    assert len(controller.history) == 2
+
+
+def test_controller_p_clamped():
+    machine = Machine(fast_config())
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    controller = build(
+        machine,
+        0.0,  # impossible setpoint: far below idle temperature
+        period=0.5,
+        gains=ControllerGains(kp=1.0, ki=0.5),
+        p_max=0.9,
+    )
+    machine.run(20.0)
+    assert controller.p <= 0.9

@@ -1,0 +1,98 @@
+"""Tests for the reactive (worst-case) DTM baseline."""
+
+import pytest
+
+from repro.core import ReactiveThrottleController
+from repro.errors import ConfigurationError
+from repro.experiments import Machine, fast_config
+from repro.workloads import CpuBurn
+
+
+def build(machine, trip, **kwargs):
+    return ReactiveThrottleController(
+        machine.sim,
+        machine.chip,
+        lambda: float(machine.core_temps.max()),
+        trip_temp=trip,
+        **kwargs,
+    )
+
+
+def test_validation():
+    machine = Machine(fast_config())
+    with pytest.raises(ConfigurationError):
+        build(machine, 50.0, hysteresis=-1.0)
+    with pytest.raises(ConfigurationError):
+        build(machine, 50.0, period=0.0)
+
+
+def test_stays_off_below_trip():
+    machine = Machine(fast_config())
+    controller = build(machine, trip=60.0)
+    machine.run(10.0)  # idle machine, ~33 C
+    assert not controller.throttling
+    assert controller.current_duty == 1.0
+    assert controller.stats.engagements == 0
+    assert machine.chip.tcc.duty == 1.0
+
+
+def test_engages_and_bounds_temperature():
+    machine = Machine(fast_config())
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    # Unconstrained cpuburn would settle around 53-55 C; trip at 46.
+    controller = build(machine, trip=46.0, period=0.1)
+    machine.run(100.0)
+    assert controller.stats.engagements >= 1
+    final = machine.mean_core_temp_over_window(10.0)
+    assert final < 48.0  # bounded near the trip point
+    assert machine.chip.tcc.duty < 1.0
+
+
+def test_reactive_dtm_does_not_lower_average_below_trip():
+    """The §1 contrast: worst-case DTM clamps at the emergency level
+    instead of lowering average-case temperatures."""
+    machine = Machine(fast_config())
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    controller = build(machine, trip=46.0, period=0.1)
+    machine.run(100.0)
+    final = machine.mean_core_temp_over_window(10.0)
+    # It rides just under the trip; it does not push far below it.
+    assert final > 42.0
+
+
+def test_releases_when_load_disappears():
+    machine = Machine(fast_config())
+    threads = [machine.scheduler.spawn(CpuBurn()) for _ in range(4)]
+    controller = build(machine, trip=46.0, period=0.1)
+    machine.run(60.0)
+    assert controller.throttling
+    for t in threads:
+        machine.scheduler.terminate(t)
+    machine.run(60.0)
+    assert not controller.throttling
+    assert machine.chip.tcc.duty == 1.0
+
+
+def test_stop_freezes_controller():
+    machine = Machine(fast_config())
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    controller = build(machine, trip=46.0, period=0.1)
+    machine.run(5.0)
+    controller.stop()
+    count = controller.stats.samples_total
+    machine.run(5.0)
+    assert controller.stats.samples_total == count
+
+
+def test_history_records_actions():
+    machine = Machine(fast_config())
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    controller = build(machine, trip=44.0, period=0.1)
+    machine.run(60.0)
+    assert controller.history
+    duties = [e.duty for e in controller.history]
+    assert min(duties) < 1.0

@@ -1,0 +1,89 @@
+"""Tests for the idle injector (the scheduler hook)."""
+
+import pytest
+
+from repro.core import (
+    DeterministicInjectionPolicy,
+    IdleInjector,
+    IdleMode,
+    NoInjectionPolicy,
+    PolicyTable,
+)
+from repro.sched import Thread, ThreadKind
+from repro.workloads import CpuBurn
+
+
+def make_thread(kind=ThreadKind.USER):
+    return Thread(CpuBurn(), kind=kind)
+
+
+def test_default_injector_never_injects():
+    injector = IdleInjector()
+    thread = make_thread()
+    assert injector.decide(thread, 0.0) is None
+    assert injector.stats.injections == 0
+    assert injector.stats.decisions == 1
+
+
+def test_injection_decision_carries_length_and_mode():
+    injector = IdleInjector(mode=IdleMode.HALT)
+    injector.set_thread_policy(
+        make_thread(), DeterministicInjectionPolicy(0.5, 0.025)
+    )  # unrelated thread
+    thread = make_thread()
+    injector.set_thread_policy(thread, DeterministicInjectionPolicy(0.9, 0.025))
+    decision = None
+    for _ in range(3):
+        decision = injector.decide(thread, 0.0) or decision
+    assert decision is not None
+    assert decision.length == 0.025
+    assert decision.mode is IdleMode.HALT
+
+
+def test_kernel_threads_exempt_by_default():
+    table = PolicyTable(default=DeterministicInjectionPolicy(0.9, 0.01))
+    injector = IdleInjector(table)
+    kernel = make_thread(kind=ThreadKind.KERNEL)
+    for _ in range(10):
+        assert injector.decide(kernel, 0.0) is None
+    # Exempt decisions are not even counted against the policy.
+    assert injector.stats.decisions == 0
+
+
+def test_kernel_exemption_can_be_disabled():
+    table = PolicyTable(default=DeterministicInjectionPolicy(0.9, 0.01))
+    injector = IdleInjector(table, exempt_kernel_threads=False)
+    kernel = make_thread(kind=ThreadKind.KERNEL)
+    decisions = [injector.decide(kernel, 0.0) for _ in range(10)]
+    assert any(d is not None for d in decisions)
+
+
+def test_stats_accumulate():
+    table = PolicyTable(default=DeterministicInjectionPolicy(0.5, 0.02))
+    injector = IdleInjector(table)
+    thread = make_thread()
+    for _ in range(10):
+        injector.decide(thread, 0.0)
+    assert injector.stats.decisions == 10
+    assert injector.stats.injections == 5
+    assert injector.stats.injected_time == pytest.approx(5 * 0.02)
+    assert injector.stats.injection_fraction == 0.5
+
+
+def test_injection_fraction_empty():
+    assert IdleInjector().stats.injection_fraction == 0.0
+
+
+def test_exempt_helper():
+    injector = IdleInjector(PolicyTable(default=DeterministicInjectionPolicy(0.9, 0.01)))
+    thread = make_thread()
+    injector.exempt(thread)
+    assert all(injector.decide(thread, 0.0) is None for _ in range(10))
+
+
+def test_set_default_policy():
+    injector = IdleInjector()
+    injector.set_default_policy(DeterministicInjectionPolicy(0.5, 0.01))
+    thread = make_thread()
+    decisions = [injector.decide(thread, 0.0) for _ in range(4)]
+    assert sum(d is not None for d in decisions) == 2

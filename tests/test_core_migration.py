@@ -1,0 +1,104 @@
+"""Tests for heat-and-run style thermal migration."""
+
+import numpy as np
+import pytest
+
+from repro.core import ThermalMigrationPolicy
+from repro.errors import ConfigurationError
+from repro.experiments import Machine, fast_config
+from repro.workloads import CpuBurn
+
+
+def build(machine, **kwargs):
+    return ThermalMigrationPolicy(
+        machine.sim,
+        machine.scheduler,
+        lambda: machine.core_temps,
+        **kwargs,
+    )
+
+
+def pinned_burns(machine, cores):
+    threads = []
+    for core in cores:
+        thread = machine.scheduler.spawn(CpuBurn(), name=f"hot-{core}")
+        thread.affinity = core
+        threads.append(thread)
+    return threads
+
+
+def test_validation():
+    machine = Machine(fast_config())
+    with pytest.raises(ConfigurationError):
+        build(machine, period=0.0)
+    with pytest.raises(ConfigurationError):
+        build(machine, min_delta=-1.0)
+
+
+def test_no_migration_when_idle():
+    machine = Machine(fast_config())
+    policy = build(machine)
+    machine.run(10.0)
+    assert policy.migrations == 0
+    assert policy.blocked_periods == 0
+
+
+def test_migrates_hot_thread_to_cool_core():
+    machine = Machine(fast_config())
+    threads = pinned_burns(machine, [0])
+    policy = build(machine, period=2.0, min_delta=0.5)
+    machine.run(30.0)
+    assert policy.migrations >= 2
+    first = policy.history[0]
+    assert first.source_core == 0
+    assert first.target_core != 0
+    assert first.source_temp > first.target_temp
+    # The thread keeps making progress across migrations.
+    assert threads[0].stats.work_done > 25.0
+
+
+def test_migration_spreads_heat():
+    """Rotating one hot thread across cores lowers the peak core
+    temperature relative to pinning it (the heat-and-run effect)."""
+
+    def run(migrate):
+        machine = Machine(fast_config())
+        pinned_burns(machine, [0, 1])
+        policy = build(machine, period=1.0, min_delta=0.5) if migrate else None
+        machine.run(100.0)
+        per_core = machine.templog.per_core_mean_over_window(15.0)
+        return float(per_core.max()), policy
+
+    pinned_peak, _ = run(False)
+    migrated_peak, policy = run(True)
+    assert policy.migrations > 10
+    assert migrated_peak < pinned_peak - 0.5
+
+
+def test_fully_burdened_machine_blocks_migration():
+    """§3.6: migration 'may be ineffective on fully-burdened machines'."""
+    machine = Machine(fast_config())
+    pinned_burns(machine, [0, 1, 2, 3])
+    policy = build(machine, period=1.0)
+    machine.run(20.0)
+    assert policy.migrations == 0
+    assert policy.blocked_periods >= 15
+
+
+def test_stop_halts_migrations():
+    machine = Machine(fast_config())
+    pinned_burns(machine, [0])
+    policy = build(machine, period=1.0, min_delta=0.1)
+    machine.run(5.0)
+    count = policy.migrations
+    policy.stop()
+    machine.run(10.0)
+    assert policy.migrations == count
+
+
+def test_min_delta_gates_migration():
+    machine = Machine(fast_config())
+    pinned_burns(machine, [0])
+    policy = build(machine, period=1.0, min_delta=100.0)  # unreachable delta
+    machine.run(10.0)
+    assert policy.migrations == 0

@@ -1,0 +1,107 @@
+"""Tests for the paper's analytical throughput and energy models (§2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    idle_quanta_per_execution,
+    predicted_energy,
+    predicted_idle_fraction,
+    predicted_runtime,
+    predicted_throughput_factor,
+)
+from repro.errors import ConfigurationError
+
+
+def test_idle_quanta_per_execution_examples():
+    """§2.2: 'if we idle with probability 75%, then 3 out of 4 times t
+    is scheduled we will idle instead'."""
+    assert idle_quanta_per_execution(0.75) == pytest.approx(3.0)
+    assert idle_quanta_per_execution(0.5) == pytest.approx(1.0)
+    assert idle_quanta_per_execution(0.0) == 0.0
+
+
+def test_predicted_runtime_doubles_at_half():
+    """§2.2: p=50% with L equal to the quantum doubles the runtime."""
+    assert predicted_runtime(10.0, 0.1, 0.5, 0.1) == pytest.approx(20.0)
+
+
+def test_predicted_runtime_formula():
+    # R=5, q=0.1 -> S=50; p=.25 -> 1/3 idle per exec; L=.05.
+    expected = 5.0 + 50 * (1.0 / 3.0) * 0.05
+    assert predicted_runtime(5.0, 0.1, 0.25, 0.05) == pytest.approx(expected)
+
+
+def test_zero_p_is_identity():
+    assert predicted_runtime(7.0, 0.1, 0.0, 0.05) == 7.0
+    assert predicted_throughput_factor(0.1, 0.0, 0.05) == 1.0
+    assert predicted_idle_fraction(0.1, 0.0, 0.05) == 0.0
+
+
+def test_throughput_factor_consistent_with_runtime():
+    factor = predicted_throughput_factor(0.1, 0.6, 0.03)
+    runtime = predicted_runtime(4.0, 0.1, 0.6, 0.03)
+    assert factor == pytest.approx(4.0 / runtime)
+
+
+def test_idle_fraction_complement():
+    assert predicted_idle_fraction(0.1, 0.5, 0.1) == pytest.approx(0.5)
+
+
+def test_energy_identity():
+    """§2.2: 'The two policies consume the same amount of total energy.'"""
+    prediction = predicted_energy(
+        7.0, 0.1, 0.5, 0.05, active_power=55.0, idle_power=15.0
+    )
+    assert prediction.race_to_idle == pytest.approx(prediction.dimetrodon)
+    assert prediction.ratio == pytest.approx(1.0)
+
+
+def test_energy_values():
+    # D = 7 + 70*1*0.05 = 10.5; idle time 3.5 s.
+    prediction = predicted_energy(
+        7.0, 0.1, 0.5, 0.05, active_power=55.0, idle_power=15.0
+    )
+    assert prediction.race_to_idle == pytest.approx(7 * 55 + 3.5 * 15)
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        predicted_runtime(0.0, 0.1, 0.5, 0.05)
+    with pytest.raises(ConfigurationError):
+        predicted_runtime(1.0, -0.1, 0.5, 0.05)
+    with pytest.raises(ConfigurationError):
+        predicted_runtime(1.0, 0.1, 1.0, 0.05)
+    with pytest.raises(ConfigurationError):
+        predicted_throughput_factor(0.1, 0.5, 0.0)
+    with pytest.raises(ConfigurationError):
+        predicted_energy(1.0, 0.1, 0.5, 0.05, active_power=0.0, idle_power=1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    total=st.floats(0.5, 100.0),
+    p=st.floats(0.0, 0.97),
+    quantum=st.floats(0.01, 0.2),
+    idle=st.floats(0.001, 0.2),
+)
+def test_runtime_monotone_in_p_property(total, p, quantum, idle):
+    base = predicted_runtime(total, quantum, p, idle)
+    more = predicted_runtime(total, quantum, min(p + 0.01, 0.98), idle)
+    assert more >= base
+    assert base >= total
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    total=st.floats(0.5, 100.0),
+    p=st.floats(0.01, 0.97),
+    quantum=st.floats(0.01, 0.2),
+    idle=st.floats(0.001, 0.2),
+    u=st.floats(10.0, 100.0),
+    m=st.floats(0.0, 30.0),
+)
+def test_energy_identity_property(total, p, quantum, idle, u, m):
+    prediction = predicted_energy(total, quantum, p, idle, active_power=u, idle_power=m)
+    assert prediction.race_to_idle == pytest.approx(prediction.dimetrodon, rel=1e-9)

@@ -1,0 +1,166 @@
+"""Tests for injection policies and the policy table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BernoulliInjectionPolicy,
+    DeterministicInjectionPolicy,
+    NoInjectionPolicy,
+    PolicyTable,
+    validate_probability,
+    validate_quantum,
+)
+from repro.errors import ConfigurationError
+from repro.sim import RngRegistry
+
+
+def rng():
+    return RngRegistry(seed=11).stream("policy")
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def test_probability_bounds():
+    assert validate_probability(0.0) == 0.0
+    assert validate_probability(0.999) == 0.999
+    with pytest.raises(ConfigurationError):
+        validate_probability(1.0)  # p=1 would starve the thread forever
+    with pytest.raises(ConfigurationError):
+        validate_probability(-0.1)
+
+
+def test_quantum_bounds():
+    assert validate_quantum(0.001) == 0.001
+    with pytest.raises(ConfigurationError):
+        validate_quantum(0.0)
+    with pytest.raises(ConfigurationError):
+        validate_quantum(-1.0)
+
+
+# ----------------------------------------------------------------------
+# NoInjectionPolicy
+# ----------------------------------------------------------------------
+def test_no_injection_never_injects():
+    policy = NoInjectionPolicy()
+    assert not any(policy.should_inject(1) for _ in range(100))
+    assert policy.p == 0.0
+
+
+# ----------------------------------------------------------------------
+# Bernoulli
+# ----------------------------------------------------------------------
+def test_bernoulli_rate_matches_p():
+    policy = BernoulliInjectionPolicy(0.3, 0.01, rng())
+    hits = sum(policy.should_inject(1) for _ in range(20000))
+    assert 0.28 < hits / 20000 < 0.32
+
+
+def test_bernoulli_zero_p_never_injects():
+    policy = BernoulliInjectionPolicy(0.0, 0.01, rng())
+    assert not any(policy.should_inject(1) for _ in range(100))
+
+
+def test_bernoulli_deterministic_per_seed():
+    a = BernoulliInjectionPolicy(0.5, 0.01, RngRegistry(3).stream("x"))
+    b = BernoulliInjectionPolicy(0.5, 0.01, RngRegistry(3).stream("x"))
+    assert [a.should_inject(1) for _ in range(50)] == [
+        b.should_inject(1) for _ in range(50)
+    ]
+
+
+def test_bernoulli_validates_arguments():
+    with pytest.raises(ConfigurationError):
+        BernoulliInjectionPolicy(1.0, 0.01, rng())
+    with pytest.raises(ConfigurationError):
+        BernoulliInjectionPolicy(0.5, 0.0, rng())
+
+
+# ----------------------------------------------------------------------
+# Deterministic
+# ----------------------------------------------------------------------
+def test_deterministic_exact_fraction():
+    policy = DeterministicInjectionPolicy(0.25, 0.01)
+    decisions = [policy.should_inject(1) for _ in range(1000)]
+    assert sum(decisions) == 250
+
+
+def test_deterministic_pattern_for_half():
+    policy = DeterministicInjectionPolicy(0.5, 0.01)
+    decisions = [policy.should_inject(7) for _ in range(8)]
+    # Alternating: credit 0.5 (no), 1.0 (yes), 0.5 (no), ...
+    assert decisions == [False, True, False, True, False, True, False, True]
+
+
+def test_deterministic_no_clustering():
+    """Runs of consecutive injections are bounded (unlike Bernoulli)."""
+    policy = DeterministicInjectionPolicy(0.75, 0.01)
+    decisions = [policy.should_inject(1) for _ in range(400)]
+    assert sum(decisions) == 300
+    longest_gap = max(
+        len(chunk) for chunk in "".join("x" if d else "." for d in decisions).split("x")
+    )
+    assert longest_gap <= 2  # at p=.75 never more than ~1/(1-p) quanta apart
+
+
+def test_deterministic_credit_is_per_thread():
+    policy = DeterministicInjectionPolicy(0.5, 0.01)
+    a = [policy.should_inject(1) for _ in range(4)]
+    b = [policy.should_inject(2) for _ in range(4)]
+    assert a == b  # thread 2's credit is independent of thread 1's
+
+
+@settings(max_examples=30, deadline=None)
+@given(p=st.floats(min_value=0.01, max_value=0.95))
+def test_deterministic_longrun_fraction_property(p):
+    policy = DeterministicInjectionPolicy(p, 0.01)
+    n = 2000
+    hits = sum(policy.should_inject(1) for _ in range(n))
+    assert abs(hits / n - p) < 0.01
+
+
+# ----------------------------------------------------------------------
+# PolicyTable
+# ----------------------------------------------------------------------
+def test_table_default_policy():
+    table = PolicyTable()
+    assert isinstance(table.lookup(42), NoInjectionPolicy)
+
+
+def test_table_per_thread_override():
+    table = PolicyTable()
+    override = DeterministicInjectionPolicy(0.5, 0.02)
+    table.set_thread_policy(7, override)
+    assert table.lookup(7) is override
+    assert isinstance(table.lookup(8), NoInjectionPolicy)
+
+
+def test_table_clear_returns_to_default():
+    default = DeterministicInjectionPolicy(0.25, 0.01)
+    table = PolicyTable(default=default)
+    table.set_thread_policy(7, DeterministicInjectionPolicy(0.9, 0.1))
+    table.clear_thread_policy(7)
+    assert table.lookup(7) is default
+
+
+def test_table_exempt_thread():
+    table = PolicyTable(default=DeterministicInjectionPolicy(0.9, 0.1))
+    table.exempt_thread(7)
+    assert isinstance(table.lookup(7), NoInjectionPolicy)
+    assert table.lookup(8).p == 0.9
+
+
+def test_table_set_default():
+    table = PolicyTable()
+    new = DeterministicInjectionPolicy(0.3, 0.01)
+    table.set_default(new)
+    assert table.lookup(1) is new
+
+
+def test_policy_describe():
+    policy = DeterministicInjectionPolicy(0.5, 0.025)
+    assert "p=0.5" in policy.describe()
+    assert "25" in policy.describe()

@@ -1,0 +1,96 @@
+"""Tests for the C-state model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import CState, CStateParams, ResidencyCounter, exit_latency, idle_profile
+
+
+def test_idle_profile_empty_for_zero_duration():
+    assert idle_profile(0.0, CStateParams()) == []
+    assert idle_profile(-1.0, CStateParams()) == []
+
+
+def test_short_idle_stays_shallow():
+    """Idle shorter than the promotion threshold never reaches C1E."""
+    params = CStateParams(c1e_promotion_threshold=1.5e-3)
+    pieces = idle_profile(1.0e-3, params)
+    assert len(pieces) == 1
+    assert pieces[0].state is CState.C1
+    assert pieces[0].duration == pytest.approx(1.0e-3)
+
+
+def test_long_idle_promotes_to_c1e():
+    params = CStateParams(c1e_promotion_threshold=1.5e-3, c1e_entry_latency=40e-6)
+    pieces = idle_profile(100e-3, params)
+    assert [p.state for p in pieces] == [CState.C1, CState.C1E]
+    assert pieces[0].duration == pytest.approx(1.54e-3)
+    assert pieces[1].duration == pytest.approx(100e-3 - 1.54e-3)
+
+
+def test_deep_fraction_grows_with_duration():
+    """Longer idle quanta spend a larger fraction in the deep state —
+    the mechanism behind the paper's ~1 ms optimal idle length."""
+    params = CStateParams()
+
+    def deep_fraction(duration):
+        pieces = idle_profile(duration, params)
+        deep = sum(p.duration for p in pieces if p.state is CState.C1E)
+        return deep / duration
+
+    assert deep_fraction(0.2e-3) == 0.0
+    assert 0.0 < deep_fraction(1e-3) < deep_fraction(25e-3) < deep_fraction(100e-3)
+    assert deep_fraction(100e-3) > 0.95
+
+
+def test_exit_latency_per_state():
+    params = CStateParams()
+    assert exit_latency(CState.C0, params) == 0.0
+    assert exit_latency(CState.C1, params) == params.c1_exit_latency
+    assert exit_latency(CState.C1E, params) == params.c1e_exit_latency
+    assert exit_latency(CState.C1E, params) > exit_latency(CState.C1, params)
+
+
+@settings(max_examples=50, deadline=None)
+@given(duration=st.floats(min_value=1e-6, max_value=1.0))
+def test_idle_profile_durations_sum_property(duration):
+    pieces = idle_profile(duration, CStateParams())
+    assert sum(p.duration for p in pieces) == pytest.approx(duration, rel=1e-12)
+    assert all(p.duration > 0 for p in pieces)
+
+
+def test_residency_counter_accumulates():
+    counter = ResidencyCounter()
+    counter.add(CState.C0, 2.0)
+    counter.add(CState.C1E, 1.0)
+    counter.add(CState.C0, 0.5)
+    assert counter.get(CState.C0) == pytest.approx(2.5)
+    assert counter.get(CState.C1E) == pytest.approx(1.0)
+    assert counter.total() == pytest.approx(3.5)
+
+
+def test_residency_fractions():
+    counter = ResidencyCounter()
+    counter.add(CState.C0, 3.0)
+    counter.add(CState.C1, 1.0)
+    fractions = counter.fractions()
+    assert fractions[CState.C0] == pytest.approx(0.75)
+    assert fractions[CState.C1] == pytest.approx(0.25)
+    assert fractions[CState.C1E] == 0.0
+
+
+def test_residency_fractions_empty():
+    assert ResidencyCounter().fractions()[CState.C0] == 0.0
+
+
+def test_residency_rejects_negative():
+    with pytest.raises(ValueError):
+        ResidencyCounter().add(CState.C0, -1.0)
+
+
+def test_residency_as_tuples():
+    counter = ResidencyCounter()
+    counter.add(CState.C1, 1.5)
+    tuples = dict(counter.as_tuples())
+    assert tuples["C1"] == 1.5

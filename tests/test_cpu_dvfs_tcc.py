@@ -1,0 +1,136 @@
+"""Tests for DVFS operating points and TCC clock modulation."""
+
+import pytest
+
+from repro.cpu import DvfsTable, OperatingPoint, TCC_OFF, TccSetting, setpoints, step_size, xeon_e5520_table
+from repro.errors import ConfigurationError
+from repro.units import GHZ, MHZ
+
+
+# ----------------------------------------------------------------------
+# DVFS
+# ----------------------------------------------------------------------
+def test_table_spans_paper_range():
+    table = xeon_e5520_table()
+    assert table.min_point.frequency == pytest.approx(1.60 * GHZ, rel=1e-3)
+    assert table.max_point.frequency == pytest.approx(2.267 * GHZ, rel=1e-3)
+    assert len(table) == 6
+
+
+def test_steps_are_roughly_133mhz():
+    table = xeon_e5520_table()
+    freqs = [p.frequency for p in table]
+    diffs = [b - a for a, b in zip(freqs, freqs[1:])]
+    for diff in diffs:
+        assert diff == pytest.approx(step_size(), rel=0.05)
+
+
+def test_min_frequency_is_71_percent_of_max():
+    """§3.2: 'a minimum of frequency of 1.6 GHz (71% of maximum)'."""
+    table = xeon_e5520_table()
+    assert table.speed_scale(table.min_point) == pytest.approx(0.708, abs=0.005)
+
+
+def test_voltage_monotone_with_frequency():
+    table = xeon_e5520_table()
+    volts = [p.voltage for p in table]
+    assert volts == sorted(volts)
+    assert volts[0] == pytest.approx(1.08)
+    assert volts[-1] == pytest.approx(1.20)
+
+
+def test_voltage_curve_is_convex():
+    """V(f) drops slowly near the top of the ladder and fast at the
+    bottom — the shape behind Figure 4's shallow-step behaviour."""
+    table = xeon_e5520_table()
+    volts = [p.voltage for p in table]
+    drops = [b - a for a, b in zip(volts, volts[1:])]
+    # Steps near the top of the ladder change voltage less.
+    assert drops[-1] < drops[0]
+
+
+def test_dynamic_scale_is_f_v_squared():
+    table = xeon_e5520_table()
+    point = table.min_point
+    expected = (point.frequency / table.max_point.frequency) * (
+        point.voltage / table.max_point.voltage
+    ) ** 2
+    assert table.dynamic_scale(point) == pytest.approx(expected)
+    assert table.dynamic_scale(table.max_point) == 1.0
+
+
+def test_dynamic_scale_beats_linear():
+    """VFS's power advantage: power drops faster than speed (Figure 4)."""
+    table = xeon_e5520_table()
+    for point in table:
+        assert table.dynamic_scale(point) <= table.speed_scale(point) + 1e-12
+
+
+def test_nearest_point():
+    table = xeon_e5520_table()
+    assert table.nearest(1.65 * GHZ).frequency == pytest.approx(1.60 * GHZ, rel=1e-3)
+    assert table.nearest(2.5 * GHZ) is table.max_point
+
+
+def test_operating_point_validation():
+    with pytest.raises(ConfigurationError):
+        OperatingPoint(frequency=-1.0, voltage=1.0)
+    with pytest.raises(ConfigurationError):
+        OperatingPoint(frequency=1e9, voltage=0.0)
+
+
+def test_table_must_be_sorted():
+    points = (
+        OperatingPoint(2e9, 1.1),
+        OperatingPoint(1e9, 0.9),
+    )
+    with pytest.raises(ConfigurationError):
+        DvfsTable(points=points)
+
+
+def test_point_label():
+    point = OperatingPoint(2.26 * GHZ, 1.2)
+    assert point.label == "2.26GHz@1.20V"
+
+
+# ----------------------------------------------------------------------
+# TCC
+# ----------------------------------------------------------------------
+def test_tcc_off_is_identity():
+    assert TCC_OFF.dynamic_scale == 1.0
+    assert TCC_OFF.speed_scale == 1.0
+
+
+def test_tcc_setpoints_ladder():
+    points = setpoints(8)
+    assert len(points) == 8
+    assert points[0].duty == pytest.approx(0.125)
+    assert points[-1].duty == 1.0
+
+
+def test_tcc_dynamic_scale():
+    setting = TccSetting(duty=0.5, gated_dynamic_fraction=0.1)
+    assert setting.dynamic_scale == pytest.approx(0.55)
+    assert setting.speed_scale == 0.5
+
+
+def test_tcc_power_worse_than_proportional():
+    """TCC burns residual power while gated, so its power/speed ratio is
+    always worse than 1 — the seed of its sub-1:1 trade-off."""
+    for setting in setpoints(8)[:-1]:
+        assert setting.dynamic_scale > setting.speed_scale
+
+
+def test_tcc_validation():
+    with pytest.raises(ConfigurationError):
+        TccSetting(duty=0.0)
+    with pytest.raises(ConfigurationError):
+        TccSetting(duty=1.2)
+    with pytest.raises(ConfigurationError):
+        TccSetting(duty=0.5, gated_dynamic_fraction=1.0)
+    with pytest.raises(ConfigurationError):
+        setpoints(1)
+
+
+def test_tcc_label():
+    assert TccSetting(duty=0.25).label == "tcc-25.0%"

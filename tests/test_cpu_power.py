@@ -1,0 +1,157 @@
+"""Tests for the power model and its calibration targets."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import CState, PowerModel, PowerParams, xeon_e5520_table
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return PowerModel(PowerParams(), xeon_e5520_table())
+
+
+def test_leakage_at_reference(model):
+    point = model.dvfs.max_point
+    assert model.leakage(model.params.leak_ref_temp, point) == pytest.approx(
+        model.params.core_leakage_ref
+    )
+
+
+def test_leakage_grows_exponentially(model):
+    point = model.dvfs.max_point
+    t0 = model.params.leak_ref_temp
+    slope = model.params.leak_t_slope
+    assert model.leakage(t0 + 0.5 * slope, point) == pytest.approx(
+        math.exp(0.5) * model.params.core_leakage_ref
+    )
+
+
+def test_leakage_saturates_beyond_cap(model):
+    """Far above the calibrated range the exponential is capped, so
+    configurations hotter than the paper's envelope stay bounded."""
+    point = model.dvfs.max_point
+    t0 = model.params.leak_ref_temp
+    slope = model.params.leak_t_slope
+    cap = model.params.leak_exp_cap
+    at_cap = model.leakage(t0 + cap * slope, point)
+    assert model.leakage(t0 + 10 * slope, point) == pytest.approx(at_cap)
+    assert at_cap == pytest.approx(math.exp(cap) * model.params.core_leakage_ref)
+
+
+def test_leakage_scales_with_voltage(model):
+    hot = model.params.leak_ref_temp
+    low = model.dvfs.min_point
+    high = model.dvfs.max_point
+    ratio = model.leakage(hot, low) / model.leakage(hot, high)
+    assert ratio == pytest.approx(low.voltage / high.voltage)
+
+
+def test_dynamic_scales_with_activity(model):
+    point = model.dvfs.max_point
+    full = model.dynamic(1.0, point)
+    half = model.dynamic(0.5, point)
+    assert half == pytest.approx(0.5 * full)
+    assert full == pytest.approx(model.params.core_dynamic_max)
+
+
+def test_dynamic_rejects_negative_activity(model):
+    with pytest.raises(ConfigurationError):
+        model.dynamic(-0.1, model.dvfs.max_point)
+
+
+def test_cstate_power_ordering(model):
+    """C0 > C1 > C1E at any given temperature."""
+    point = model.dvfs.max_point
+    for temp in (35.0, 45.0, 58.0):
+        c0 = model.core_power(CState.C0, temp, point, activity=1.0)
+        c1 = model.core_power(CState.C1, temp, point)
+        c1e = model.core_power(CState.C1E, temp, point)
+        assert c0 > c1 > c1e > 0.0
+
+
+def test_c1e_leakage_factor(model):
+    point = model.dvfs.max_point
+    c1e = model.core_power(CState.C1E, 50.0, point)
+    assert c1e == pytest.approx(
+        model.params.c1e_leakage_factor * model.leakage(50.0, point)
+    )
+
+
+def test_package_power_calibration_cpuburn(model):
+    """All-core cpuburn power must land near the paper's ~72 W."""
+    power = model.package_power_estimate(4, 4, temp=55.0, point=model.dvfs.max_point)
+    assert 62.0 < power < 82.0
+
+
+def test_package_power_calibration_idle(model):
+    """All-idle (C1E) package power must land near the paper's ~16-20 W."""
+    power = model.package_power_estimate(0, 4, temp=34.0, point=model.dvfs.max_point)
+    assert 13.0 < power < 21.0
+
+
+def test_package_power_staircase(model):
+    """Power steps monotonically with the number of active cores
+    (Figure 1's four intermediate levels)."""
+    point = model.dvfs.max_point
+    levels = [
+        model.package_power_estimate(k, 4, temp=50.0, point=point) for k in range(5)
+    ]
+    steps = [b - a for a, b in zip(levels, levels[1:])]
+    assert all(s > 5.0 for s in steps)
+    # Steps are equal: each core contributes the same delta.
+    assert max(steps) - min(steps) < 1e-9
+
+
+def test_dvfs_reduces_active_power(model):
+    low = model.dvfs.min_point
+    high = model.dvfs.max_point
+    p_low = model.core_power(CState.C0, 50.0, low, activity=1.0)
+    p_high = model.core_power(CState.C0, 50.0, high, activity=1.0)
+    # Dynamic power scales f·V² but the leakage share only scales ~V,
+    # so the total lands well below proportional-to-frequency.
+    assert p_low < 0.80 * p_high
+    dyn_low = model.dynamic(1.0, low)
+    dyn_high = model.dynamic(1.0, high)
+    assert dyn_low < 0.60 * dyn_high
+
+
+def test_with_leakage_slope_ablation():
+    params = PowerParams()
+    modified = params.with_leakage_slope(30.0)
+    assert modified.leak_t_slope == 30.0
+    assert modified.core_dynamic_max == params.core_dynamic_max
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ConfigurationError):
+        PowerParams(core_dynamic_max=0.0)
+    with pytest.raises(ConfigurationError):
+        PowerParams(leak_t_slope=-1.0)
+    with pytest.raises(ConfigurationError):
+        PowerParams(c1e_leakage_factor=1.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    temp=st.floats(min_value=20.0, max_value=90.0),
+    activity=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_power_positive_property(temp, activity):
+    model = PowerModel(PowerParams(), xeon_e5520_table())
+    for state in CState:
+        power = model.core_power(state, temp, model.dvfs.max_point, activity=activity)
+        assert power > 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(t1=st.floats(20.0, 80.0), t2=st.floats(20.0, 80.0))
+def test_leakage_monotone_in_temperature_property(t1, t2):
+    model = PowerModel(PowerParams(), xeon_e5520_table())
+    point = model.dvfs.max_point
+    low, high = min(t1, t2), max(t1, t2)
+    assert model.leakage(low, point) <= model.leakage(high, point) + 1e-12

@@ -1,0 +1,51 @@
+"""The example scripts must at least parse and import-check cleanly.
+
+Full executions live outside the unit suite (they simulate 100 s each);
+this guards against the examples rotting as the API evolves.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship more
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    # Every example is a runnable script with a main() guard.
+    assert any(
+        isinstance(node, ast.FunctionDef) and node.name == "main"
+        for node in tree.body
+    ), f"{path.name} lacks a main()"
+    assert 'if __name__ == "__main__":' in path.read_text()
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every repro import in an example must resolve against the API."""
+    import importlib
+
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} does not exist"
+                )
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_docstring(path):
+    tree = ast.parse(path.read_text())
+    doc = ast.get_docstring(tree)
+    assert doc and len(doc) > 40, f"{path.name} needs a real docstring"

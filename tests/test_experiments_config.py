@@ -1,0 +1,44 @@
+"""Tests for experiment configuration presets."""
+
+import pytest
+
+from repro.experiments import default_config, fast_config, full_config
+
+
+def test_full_config_paper_timing():
+    cfg = full_config()
+    assert cfg.characterization_duration == 300.0
+    assert cfg.measure_window == 30.0
+    assert cfg.quantum == 0.100  # 4.4BSD fixed timeslice
+
+
+def test_fast_config_compresses_transients():
+    fast = fast_config()
+    full = full_config()
+    assert fast.characterization_duration < full.characterization_duration
+    assert fast.thermal.sink_capacitance < full.thermal.sink_capacitance
+    # Resistances (steady state) identical.
+    assert fast.thermal.sink_to_ambient == full.thermal.sink_to_ambient
+    assert fast.thermal.core_to_spreader == full.thermal.core_to_spreader
+
+
+def test_fast_config_sink_time_constant():
+    assert fast_config().thermal.sink_time_constant < 25.0
+    assert full_config().thermal.sink_time_constant > 50.0
+
+
+def test_default_config_env_switch():
+    assert default_config(env={}).characterization_duration == pytest.approx(100.0)
+    assert default_config(env={"REPRO_FULL": "1"}).characterization_duration == 300.0
+    assert default_config(env={"REPRO_FULL": "0"}).characterization_duration == pytest.approx(100.0)
+
+
+def test_with_seed():
+    cfg = fast_config(seed=1).with_seed(9)
+    assert cfg.seed == 9
+
+
+def test_scaled_override():
+    cfg = fast_config().scaled(quantum=0.05)
+    assert cfg.quantum == 0.05
+    assert cfg.num_cores == 4

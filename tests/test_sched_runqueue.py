@@ -1,0 +1,128 @@
+"""Tests for the multi-level feedback runqueue."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sched import MultiLevelFeedbackQueue, Thread, ThreadState
+from repro.workloads import CpuBurn
+
+
+def make_thread(name="t"):
+    thread = Thread(CpuBurn(), name=name)
+    thread.state = ThreadState.READY
+    return thread
+
+
+def test_empty_queue():
+    q = MultiLevelFeedbackQueue()
+    assert len(q) == 0
+    assert q.dequeue() is None
+
+
+def test_fifo_within_level():
+    q = MultiLevelFeedbackQueue()
+    a, b, c = make_thread("a"), make_thread("b"), make_thread("c")
+    for t in (a, b, c):
+        q.enqueue(t)
+    assert q.dequeue() is a
+    assert q.dequeue() is b
+    assert q.dequeue() is c
+
+
+def test_higher_level_goes_first():
+    q = MultiLevelFeedbackQueue()
+    low = make_thread("low")
+    low.queue_level = 2
+    high = make_thread("high")
+    high.queue_level = 0
+    q.enqueue(low)
+    q.enqueue(high)
+    assert q.dequeue() is high
+    assert q.dequeue() is low
+
+
+def test_enqueue_requires_ready_state():
+    q = MultiLevelFeedbackQueue()
+    t = Thread(CpuBurn())
+    assert t.state is ThreadState.NEW
+    with pytest.raises(SchedulerError):
+        q.enqueue(t)
+
+
+def test_double_enqueue_rejected():
+    q = MultiLevelFeedbackQueue()
+    t = make_thread()
+    q.enqueue(t)
+    with pytest.raises(SchedulerError):
+        q.enqueue(t)
+
+
+def test_contains_and_len():
+    q = MultiLevelFeedbackQueue()
+    a, b = make_thread("a"), make_thread("b")
+    q.enqueue(a)
+    assert a in q
+    assert b not in q
+    assert len(q) == 1
+
+
+def test_remove():
+    q = MultiLevelFeedbackQueue()
+    a, b = make_thread("a"), make_thread("b")
+    q.enqueue(a)
+    q.enqueue(b)
+    assert q.remove(a) is True
+    assert a not in q
+    assert q.dequeue() is b
+    assert q.remove(a) is False
+
+
+def test_dequeue_clears_membership():
+    q = MultiLevelFeedbackQueue()
+    a = make_thread()
+    q.enqueue(a)
+    q.dequeue()
+    assert a not in q
+    q.enqueue(a)  # re-enqueue allowed after dequeue
+    assert a in q
+
+
+def test_quantum_expiry_lowers_priority():
+    q = MultiLevelFeedbackQueue(num_levels=3)
+    t = make_thread()
+    assert t.queue_level == 0
+    q.on_quantum_expired(t)
+    assert t.queue_level == 1
+    q.on_quantum_expired(t)
+    q.on_quantum_expired(t)
+    assert t.queue_level == 2  # clamped at the lowest level
+
+
+def test_wakeup_boosts_to_top():
+    q = MultiLevelFeedbackQueue()
+    t = make_thread()
+    t.queue_level = 3
+    q.on_wakeup(t)
+    assert t.queue_level == 0
+
+
+def test_level_clamping_on_enqueue():
+    q = MultiLevelFeedbackQueue(num_levels=2)
+    t = make_thread()
+    t.queue_level = 7
+    q.enqueue(t)
+    assert t.queue_level == 1
+
+
+def test_iteration_order():
+    q = MultiLevelFeedbackQueue()
+    a, b = make_thread("a"), make_thread("b")
+    b.queue_level = 1
+    q.enqueue(b)
+    q.enqueue(a)
+    assert [t.name for t in q] == ["a", "b"]
+
+
+def test_needs_at_least_one_level():
+    with pytest.raises(SchedulerError):
+        MultiLevelFeedbackQueue(num_levels=0)

@@ -1,0 +1,368 @@
+"""Integration tests for the scheduler on the assembled machine."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import CState
+from repro.experiments import Machine, fast_config
+from repro.sched import Thread, ThreadKind, ThreadState
+from repro.workloads import Burst, CpuBurn, DutyCycledBurn, FiniteCpuBurn, SyntheticWorkload
+
+
+@pytest.fixture
+def machine():
+    return Machine(fast_config())
+
+
+def run_until_exit(machine, threads, cap=300.0):
+    while any(t.alive for t in threads) and machine.now < cap:
+        machine.run(0.5)
+    assert all(not t.alive for t in threads), "threads did not finish"
+
+
+# ----------------------------------------------------------------------
+# Basic execution
+# ----------------------------------------------------------------------
+def test_single_thread_runs_to_completion(machine):
+    t = machine.scheduler.spawn(FiniteCpuBurn(1.0))
+    run_until_exit(machine, [t])
+    assert t.state is ThreadState.EXITED
+    assert t.stats.work_done == pytest.approx(1.0, abs=1e-9)
+    # Wall time = work + per-dispatch overheads, so barely above 1 s.
+    assert 1.0 <= t.stats.exit_time < 1.01
+
+
+def test_four_threads_run_in_parallel(machine):
+    threads = [machine.scheduler.spawn(FiniteCpuBurn(1.0)) for _ in range(4)]
+    run_until_exit(machine, threads)
+    # All four cores busy simultaneously: finish in ~1 s, not ~4 s.
+    assert max(t.stats.exit_time for t in threads) < 1.05
+
+
+def test_five_threads_share_four_cores(machine):
+    threads = [machine.scheduler.spawn(FiniteCpuBurn(1.0)) for _ in range(5)]
+    run_until_exit(machine, threads)
+    # 5 seconds of work on 4 cores: at least 1.25 s of wall time.
+    assert max(t.stats.exit_time for t in threads) >= 1.25
+    total = sum(t.stats.work_done for t in threads)
+    assert total == pytest.approx(5.0, abs=1e-9)
+
+
+def test_quantum_slicing_counts(machine):
+    t = machine.scheduler.spawn(FiniteCpuBurn(1.0))
+    run_until_exit(machine, [t])
+    # R/q = 1.0/0.1 = 10 dispatches.
+    assert t.stats.scheduled_count == 10
+    assert t.stats.preemptions == 9  # the final slice completes the burst
+
+
+def test_work_conservation_under_load(machine):
+    threads = [machine.scheduler.spawn(CpuBurn()) for _ in range(4)]
+    machine.run(10.0)
+    total = sum(t.stats.work_done for t in threads)
+    # No more work than wall-time x cores; overheads make it slightly less.
+    assert total <= 40.0
+    assert total > 39.5
+
+
+def test_first_run_timestamp(machine):
+    t = machine.scheduler.spawn(FiniteCpuBurn(0.5))
+    machine.run(1.0)
+    assert t.stats.first_run == pytest.approx(0.0, abs=1e-6)
+
+
+def test_exit_listener_fires(machine):
+    exits = []
+    machine.scheduler.exit_listeners.append(lambda t, now: exits.append((t.name, now)))
+    t = machine.scheduler.spawn(FiniteCpuBurn(0.3), name="short")
+    run_until_exit(machine, [t])
+    assert len(exits) == 1
+    assert exits[0][0] == "short"
+    assert exits[0][1] == pytest.approx(t.stats.exit_time)
+
+
+# ----------------------------------------------------------------------
+# Sleep / block
+# ----------------------------------------------------------------------
+def test_duty_cycled_thread_sleeps(machine):
+    workload = DutyCycledBurn(burn_time=0.5, sleep_time=1.0, iterations=3)
+    t = machine.scheduler.spawn(workload)
+    run_until_exit(machine, [t], cap=20.0)
+    assert workload.completed_iterations == 3
+    # 3 x (0.5 burn + 1.0 sleep), last sleep included before exit check.
+    assert 3.4 < t.stats.exit_time < 4.7
+    assert t.stats.work_done == pytest.approx(1.5, abs=1e-9)
+
+
+def test_blocked_thread_waits_for_wake(machine):
+    from repro.workloads import BLOCK
+
+    workload = SyntheticWorkload(items=[BLOCK, Burst(cpu_time=0.2)])
+    t = machine.scheduler.spawn(workload)
+    machine.run(1.0)
+    assert t.state is ThreadState.BLOCKED
+    machine.scheduler.wake(t)
+    machine.run(1.0)
+    assert t.state is ThreadState.EXITED
+    assert t.stats.work_done == pytest.approx(0.2, abs=1e-9)
+
+
+def test_wake_is_noop_for_non_blocked(machine):
+    t = machine.scheduler.spawn(FiniteCpuBurn(5.0))
+    machine.run(0.25)
+    state_before = t.state
+    machine.scheduler.wake(t)
+    assert t.state is state_before
+
+
+def test_cores_idle_when_no_work(machine):
+    machine.run(1.0)
+    for core in machine.chip.cores:
+        assert core.cstate_at(machine.now) is not CState.C0
+    # All accounted time is idle.
+    residency = machine.chip.cores[0].residency
+    assert residency.get(CState.C0) == 0.0
+    assert residency.total() == pytest.approx(1.0, rel=1e-6)
+
+
+def test_residency_sums_to_elapsed(machine):
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    machine.run(5.0)
+    for core in machine.chip.cores:
+        assert core.residency.total() == pytest.approx(5.0, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Injection behaviour
+# ----------------------------------------------------------------------
+def test_injection_slows_thread_deterministically(machine):
+    from repro.core.models import predicted_runtime
+
+    machine.control.set_global_policy(0.5, 0.05, deterministic=True)
+    t = machine.scheduler.spawn(FiniteCpuBurn(1.0))
+    run_until_exit(machine, [t], cap=30.0)
+    predicted = predicted_runtime(1.0, machine.config.quantum, 0.5, 0.05)
+    # The deterministic credit policy loses up to one idle quantum at
+    # the sequence start relative to the Bernoulli expectation.
+    assert predicted - 0.06 <= t.stats.exit_time <= predicted * 1.01
+    assert t.stats.injected_count in (9, 10)
+
+
+def test_injection_counts_and_time(machine):
+    machine.control.set_global_policy(0.75, 0.02, deterministic=True)
+    t = machine.scheduler.spawn(FiniteCpuBurn(0.5))
+    run_until_exit(machine, [t], cap=30.0)
+    # Roughly 3 idles per execution quantum (start-transient loses a few).
+    assert 11 <= t.stats.injected_count <= 15
+    assert t.stats.injected_time == pytest.approx(t.stats.injected_count * 0.02)
+
+
+def test_pinned_thread_not_stolen_by_other_core(machine):
+    """While an idle quantum is injected, no other core may run the
+    pinned thread — the paper's pinning requirement (§3.1)."""
+    machine.control.set_global_policy(0.9, 0.1, deterministic=True)
+    t = machine.scheduler.spawn(FiniteCpuBurn(0.5))
+
+    seen_double_run = []
+
+    def check():
+        running_on = [
+            slot.core.index
+            for slot in machine.scheduler.slots
+            if slot.current is t
+        ]
+        if len(running_on) > 1:
+            seen_double_run.append(running_on)
+
+    from repro.sim import PeriodicTask
+
+    PeriodicTask(machine.sim, 0.001, check)
+    machine.run(5.0)
+    assert not seen_double_run
+
+
+def test_kernel_threads_exempt(machine):
+    machine.control.set_global_policy(0.9, 0.05, deterministic=True)
+    kernel = Thread(FiniteCpuBurn(0.5), kind=ThreadKind.KERNEL)
+    machine.scheduler.add_thread(kernel)
+    run_until_exit(machine, [kernel], cap=10.0)
+    assert kernel.stats.injected_count == 0
+    assert kernel.stats.exit_time < 0.6
+
+
+def test_per_thread_policy_targets_one_thread(machine):
+    hot = machine.scheduler.spawn(FiniteCpuBurn(0.5), name="hot")
+    cool = machine.scheduler.spawn(FiniteCpuBurn(0.5), name="cool")
+    machine.control.set_thread_policy(hot, 0.75, 0.05, deterministic=True)
+    run_until_exit(machine, [hot, cool], cap=20.0)
+    assert hot.stats.injected_count > 0
+    assert cool.stats.injected_count == 0
+    assert cool.stats.exit_time < hot.stats.exit_time
+
+
+def test_injected_idle_reaches_deep_state(machine):
+    machine.control.set_global_policy(0.5, 0.05, deterministic=True)
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    machine.run(10.0)
+    deep = sum(core.residency.get(CState.C1E) for core in machine.chip.cores)
+    shallow = sum(core.residency.get(CState.C1) for core in machine.chip.cores)
+    assert deep > 4 * shallow  # idle quanta are predominantly C1E
+
+
+def test_spin_mode_stays_in_c0():
+    from repro.core import IdleMode
+
+    machine = Machine(fast_config(), idle_mode=IdleMode.SPIN)
+    machine.control.set_global_policy(0.5, 0.05, deterministic=True)
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    machine.run(5.0)
+    for core in machine.chip.cores:
+        assert core.residency.get(CState.C1E) == 0.0
+        assert core.residency.get(CState.C0) == pytest.approx(5.0, rel=1e-6)
+
+
+def test_spin_mode_still_cools():
+    """A nop loop burns less than cpuburn, so injection cools even
+    without idle states (§2.1)."""
+    from repro.core import IdleMode
+
+    def run(mode):
+        machine = Machine(fast_config(), idle_mode=mode)
+        machine.control.set_global_policy(0.75, 0.05, deterministic=True)
+        for _ in range(4):
+            machine.scheduler.spawn(CpuBurn())
+        machine.run(60.0)
+        return machine.mean_core_temp_over_window(10.0)
+
+    baseline = Machine(fast_config())
+    for _ in range(4):
+        baseline.scheduler.spawn(CpuBurn())
+    baseline.run(60.0)
+    hot = baseline.mean_core_temp_over_window(10.0)
+
+    spin = run(IdleMode.SPIN)
+    halt = run(IdleMode.HALT)
+    assert spin < hot - 1.0  # spinning cools some
+    assert halt < spin  # halting cools more
+
+
+def test_scheduler_rejects_double_add(machine):
+    t = machine.scheduler.spawn(FiniteCpuBurn(0.1))
+    from repro.errors import SchedulerError
+
+    with pytest.raises(SchedulerError):
+        machine.scheduler.add_thread(t)
+
+
+def test_terminate_running_thread(machine):
+    t = machine.scheduler.spawn(CpuBurn())
+    machine.run(0.55)
+    assert t.state is ThreadState.RUNNING
+    machine.scheduler.terminate(t)
+    machine.run(0.2)  # honoured at the next slice boundary
+    assert t.state is ThreadState.EXITED
+    assert t.stats.exit_time < 0.75
+    # The core goes idle afterwards.
+    machine.run(0.5)
+    assert all(slot.current is None for slot in machine.scheduler.slots)
+
+
+def test_terminate_sleeping_thread(machine):
+    workload = DutyCycledBurn(burn_time=0.2, sleep_time=10.0)
+    t = machine.scheduler.spawn(workload)
+    machine.run(1.0)
+    assert t.state is ThreadState.SLEEPING
+    machine.scheduler.terminate(t)
+    assert t.state is ThreadState.EXITED
+    machine.run(15.0)  # the stale wake event must not resurrect it
+    assert t.state is ThreadState.EXITED
+    assert workload.completed_iterations == 1
+
+
+def test_terminate_ready_thread(machine):
+    threads = [machine.scheduler.spawn(CpuBurn()) for _ in range(5)]
+    machine.run(0.25)
+    waiting = [t for t in threads if t.state is ThreadState.READY]
+    assert waiting
+    victim = waiting[0]
+    machine.scheduler.terminate(victim)
+    assert victim.state is ThreadState.EXITED
+    assert victim not in machine.scheduler.runqueue
+
+
+def test_terminate_pinned_thread(machine):
+    machine.control.set_global_policy(0.9, 0.5, deterministic=True)
+    t = machine.scheduler.spawn(CpuBurn())
+    machine.run(0.3)
+    assert t.state is ThreadState.PINNED
+    machine.scheduler.terminate(t)
+    machine.run(2.0)  # the injection-end event must not re-enqueue it
+    assert t.state is ThreadState.EXITED
+
+
+def test_terminate_is_idempotent(machine):
+    t = machine.scheduler.spawn(FiniteCpuBurn(0.1))
+    machine.run(0.5)
+    assert t.state is ThreadState.EXITED
+    exit_time = t.stats.exit_time
+    machine.scheduler.terminate(t)
+    assert t.stats.exit_time == exit_time
+
+
+def test_terminate_fires_exit_listener(machine):
+    exits = []
+    machine.scheduler.exit_listeners.append(lambda th, now: exits.append(th.name))
+    t = machine.scheduler.spawn(CpuBurn(), name="victim")
+    machine.run(0.25)
+    machine.scheduler.terminate(t)
+    machine.run(0.2)
+    assert exits == ["victim"]
+
+
+def test_public_preempt_requeues_thread(machine):
+    hog = machine.scheduler.spawn(CpuBurn())
+    machine.run(0.55)  # mid-slice
+    slot = machine.scheduler.running_on(hog)
+    assert slot is not None
+    work_before = hog.stats.work_done
+    assert machine.scheduler.preempt(hog) is True
+    # Partial progress of the interrupted slice was accounted.
+    assert hog.stats.work_done > work_before
+    assert machine.scheduler.stats.forced_preemptions == 1
+    # The thread is immediately redispatched (it is the only work).
+    assert machine.scheduler.running_on(hog) is not None
+
+
+def test_preempt_non_running_thread_returns_false(machine):
+    sleeper = machine.scheduler.spawn(DutyCycledBurn(burn_time=0.1, sleep_time=5.0))
+    machine.run(0.5)
+    assert machine.scheduler.preempt(sleeper) is False
+
+
+def test_running_on_none_for_idle_thread(machine):
+    t = machine.scheduler.spawn(FiniteCpuBurn(0.1))
+    machine.run(1.0)
+    assert machine.scheduler.running_on(t) is None
+
+
+def test_preempt_conserves_work(machine):
+    t = machine.scheduler.spawn(FiniteCpuBurn(0.5))
+    machine.sim.schedule(0.25, lambda: machine.scheduler.preempt(t))
+    machine.run(2.0)
+    assert not t.alive
+    assert t.stats.work_done == pytest.approx(0.5, abs=1e-9)
+
+
+def test_scheduler_validates_quantum():
+    from repro.errors import SchedulerError
+    from repro.sched import Scheduler
+    from repro.cpu import Chip
+    from repro.sim import Simulator
+
+    with pytest.raises(SchedulerError):
+        Scheduler(Simulator(), Chip(), quantum=0.0)
+    with pytest.raises(SchedulerError):
+        Scheduler(Simulator(), Chip(), context_switch_cost=-1.0)

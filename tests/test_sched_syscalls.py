@@ -1,0 +1,88 @@
+"""Tests for the Dimetrodon control ("syscall") surface."""
+
+import pytest
+
+from repro.core import BernoulliInjectionPolicy, DeterministicInjectionPolicy, NoInjectionPolicy
+from repro.errors import ConfigurationError
+from repro.experiments import Machine, fast_config
+from repro.sched import DimetrodonControl, Scheduler
+from repro.sim import Simulator
+from repro.cpu import Chip
+from repro.workloads import FiniteCpuBurn
+
+
+@pytest.fixture
+def machine():
+    return Machine(fast_config())
+
+
+def test_requires_injector():
+    scheduler = Scheduler(Simulator(), Chip())  # no injector
+    with pytest.raises(ConfigurationError):
+        DimetrodonControl(scheduler)
+
+
+def test_global_policy_bernoulli(machine):
+    machine.control.set_global_policy(0.5, 0.025)
+    policy = machine.injector.table.default
+    assert isinstance(policy, BernoulliInjectionPolicy)
+    assert policy.p == 0.5
+    assert policy.idle_quantum == 0.025
+
+
+def test_global_policy_deterministic(machine):
+    machine.control.set_global_policy(0.5, 0.025, deterministic=True)
+    assert isinstance(machine.injector.table.default, DeterministicInjectionPolicy)
+
+
+def test_zero_p_makes_no_injection_policy(machine):
+    machine.control.set_global_policy(0.0, 0.025)
+    assert isinstance(machine.injector.table.default, NoInjectionPolicy)
+
+
+def test_bernoulli_needs_rng():
+    scheduler_machine = Machine(fast_config())
+    control = DimetrodonControl(scheduler_machine.scheduler, rng=None)
+    with pytest.raises(ConfigurationError):
+        control.set_global_policy(0.5, 0.025)
+    # Deterministic works without an RNG.
+    control.set_global_policy(0.5, 0.025, deterministic=True)
+
+
+def test_thread_policy_and_clear(machine):
+    thread = machine.scheduler.spawn(FiniteCpuBurn(1.0))
+    machine.control.set_thread_policy(thread, 0.75, 0.05)
+    assert machine.injector.table.lookup(thread.tid).p == 0.75
+    machine.control.clear_thread_policy(thread)
+    assert machine.injector.table.lookup(thread.tid) is machine.injector.table.default
+
+
+def test_exempt_thread(machine):
+    thread = machine.scheduler.spawn(FiniteCpuBurn(1.0))
+    machine.control.set_global_policy(0.9, 0.05)
+    machine.control.exempt_thread(thread)
+    assert isinstance(machine.injector.table.lookup(thread.tid), NoInjectionPolicy)
+
+
+def test_disable(machine):
+    machine.control.set_global_policy(0.9, 0.05)
+    machine.control.disable()
+    assert isinstance(machine.injector.table.default, NoInjectionPolicy)
+
+
+def test_thread_info_snapshot(machine):
+    thread = machine.scheduler.spawn(FiniteCpuBurn(0.3), name="probe")
+    machine.run(1.0)
+    info = machine.control.thread_info(thread)
+    assert info.name == "probe"
+    assert info.state == "exited"
+    assert info.work_done == pytest.approx(0.3, abs=1e-9)
+    assert info.scheduled_count == 3
+
+
+def test_all_thread_info(machine):
+    a = machine.scheduler.spawn(FiniteCpuBurn(0.2), name="a")
+    b = machine.scheduler.spawn(FiniteCpuBurn(0.2), name="b")
+    machine.run(1.0)
+    info = machine.control.all_thread_info()
+    assert set(info) == {a.tid, b.tid}

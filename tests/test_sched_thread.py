@@ -1,0 +1,102 @@
+"""Tests for the Thread abstraction and burst lifecycle."""
+
+import pytest
+
+from repro.errors import SchedulerError, WorkloadError
+from repro.sched import Thread, ThreadKind, ThreadState
+from repro.workloads import BLOCK, Burst, SyntheticWorkload
+from repro.workloads.base import Workload
+
+
+def test_thread_ids_unique():
+    a = Thread(SyntheticWorkload(items=[]))
+    b = Thread(SyntheticWorkload(items=[]))
+    assert a.tid != b.tid
+
+
+def test_default_name_and_kind():
+    t = Thread(SyntheticWorkload(items=[]))
+    assert str(t.tid) in t.name
+    assert t.kind is ThreadKind.USER
+    assert t.state is ThreadState.NEW
+
+
+def test_advance_burst_run():
+    t = Thread(SyntheticWorkload(items=[Burst(cpu_time=1.0)]))
+    assert t.advance_burst() == "run"
+    assert t.remaining_work == 1.0
+    assert t.current_burst.cpu_time == 1.0
+
+
+def test_advance_burst_exit():
+    t = Thread(SyntheticWorkload(items=[]))
+    assert t.advance_burst() == "exit"
+
+
+def test_advance_burst_block():
+    t = Thread(SyntheticWorkload(items=[BLOCK, Burst(cpu_time=1.0)]))
+    assert t.advance_burst() == "block"
+    assert t.advance_burst() == "run"
+
+
+def test_advance_burst_rejects_garbage():
+    class Bad(Workload):
+        def next_burst(self):
+            return 42
+
+    t = Thread(Bad())
+    with pytest.raises(SchedulerError):
+        t.advance_burst()
+
+
+def test_complete_burst_fires_callback():
+    seen = []
+    burst = Burst(cpu_time=1.0, on_complete=seen.append)
+    t = Thread(SyntheticWorkload(items=[burst]))
+    t.advance_burst()
+    t.complete_burst(now=3.5)
+    assert seen == [3.5]
+    assert t.stats.bursts_completed == 1
+    assert t.current_burst is None
+
+
+def test_complete_burst_without_burst_raises():
+    t = Thread(SyntheticWorkload(items=[]))
+    with pytest.raises(SchedulerError):
+        t.complete_burst(now=0.0)
+
+
+def test_runnable_and_alive_flags():
+    t = Thread(SyntheticWorkload(items=[]))
+    assert t.alive
+    t.state = ThreadState.READY
+    assert t.runnable
+    t.state = ThreadState.EXITED
+    assert not t.alive
+    assert not t.runnable
+
+
+def test_burst_validation():
+    with pytest.raises(WorkloadError):
+        Burst(cpu_time=0.0)
+    with pytest.raises(WorkloadError):
+        Burst(cpu_time=1.0, sleep_time=-1.0)
+
+
+def test_synthetic_workload_repeat():
+    w = SyntheticWorkload(items=[Burst(cpu_time=1.0)], repeat=True)
+    assert isinstance(w.next_burst(), Burst)
+    assert isinstance(w.next_burst(), Burst)
+
+
+def test_synthetic_workload_exhausts():
+    w = SyntheticWorkload(items=[Burst(cpu_time=1.0)])
+    assert isinstance(w.next_burst(), Burst)
+    assert w.next_burst() is None
+
+
+def test_block_sentinel_is_singleton():
+    from repro.workloads.base import _BlockSentinel
+
+    assert _BlockSentinel() is BLOCK
+    assert repr(BLOCK) == "BLOCK"

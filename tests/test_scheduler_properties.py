@@ -1,0 +1,123 @@
+"""Property-based invariants of the scheduler under random scenarios.
+
+Hypothesis drives random mixes of workloads and injection settings;
+each run must preserve the bookkeeping invariants no matter what.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import CState
+from repro.experiments import Machine, fast_config
+from repro.sched import ThreadState
+from repro.workloads import CpuBurn, DutyCycledBurn, FiniteCpuBurn
+
+RUN_FOR = 3.0
+
+
+def build_machine(seed, p, l_ms, deterministic, smt, co_schedule):
+    machine = Machine(
+        fast_config(seed).scaled(smt=smt), co_schedule_smt=co_schedule
+    )
+    if p > 0:
+        machine.control.set_global_policy(p, l_ms / 1e3, deterministic=deterministic)
+    return machine
+
+
+workload_strategy = st.lists(
+    st.sampled_from(["burn", "finite", "duty"]), min_size=1, max_size=6
+)
+
+
+def spawn_all(machine, kinds):
+    threads = []
+    for kind in kinds:
+        if kind == "burn":
+            workload = CpuBurn()
+        elif kind == "finite":
+            workload = FiniteCpuBurn(0.7)
+        else:
+            workload = DutyCycledBurn(burn_time=0.3, sleep_time=0.4)
+        threads.append(machine.scheduler.spawn(workload))
+    return threads
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    p=st.sampled_from([0.0, 0.25, 0.5, 0.9]),
+    l_ms=st.sampled_from([1.0, 10.0, 100.0]),
+    deterministic=st.booleans(),
+    kinds=workload_strategy,
+    smt=st.sampled_from([1, 2]),
+    co_schedule=st.booleans(),
+)
+def test_scheduler_invariants_property(seed, p, l_ms, deterministic, kinds, smt, co_schedule):
+    machine = build_machine(seed, p, l_ms, deterministic, smt, co_schedule)
+    threads = spawn_all(machine, kinds)
+    machine.run(RUN_FOR)
+
+    # 1. Residency on every core accounts for exactly the elapsed time.
+    for core in machine.chip.cores:
+        assert core.residency.total() == pytest.approx(RUN_FOR, rel=1e-9)
+
+    # 2. No thread occupies two contexts at once, and every RUNNING
+    # thread occupies exactly one.
+    occupancy = {}
+    for slot in machine.scheduler.slots:
+        if slot.current is not None:
+            occupancy.setdefault(slot.current.tid, 0)
+            occupancy[slot.current.tid] += 1
+    assert all(count == 1 for count in occupancy.values())
+    for thread in threads:
+        if thread.state is ThreadState.RUNNING:
+            assert occupancy.get(thread.tid) == 1
+        else:
+            assert thread.tid not in occupancy
+
+    # 3. Work is conserved: no thread does more work than wall time
+    # allows, and total work never exceeds context-seconds.
+    for thread in threads:
+        assert thread.stats.work_done <= RUN_FOR + 1e-9
+    total = sum(t.stats.work_done for t in threads)
+    assert total <= RUN_FOR * len(machine.scheduler.slots) + 1e-9
+
+    # 4. Finite threads never exceed their demand.
+    for thread, kind in zip(threads, kinds):
+        if kind == "finite":
+            assert thread.stats.work_done <= 0.7 + 1e-9
+            if not thread.alive:
+                assert thread.stats.work_done == pytest.approx(0.7, abs=1e-9)
+
+    # 5. Injected time only exists when a policy is active.
+    injected = sum(t.stats.injected_count for t in threads)
+    if p == 0.0:
+        assert injected == 0
+
+    # 6. PINNED threads are never on the runqueue.
+    for thread in threads:
+        if thread.state is ThreadState.PINNED:
+            assert thread not in machine.scheduler.runqueue
+
+    # 7. The simulated energy is positive and finite.
+    energy = machine.energy(0.0, RUN_FOR)
+    assert np.isfinite(energy)
+    assert energy > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    p=st.sampled_from([0.25, 0.75]),
+    kinds=workload_strategy,
+)
+def test_temperatures_stay_physical_property(seed, p, kinds):
+    """Temperatures remain between ambient and a sane silicon bound."""
+    machine = build_machine(seed, p, 10.0, False, 1, False)
+    spawn_all(machine, kinds)
+    machine.run(RUN_FOR)
+    samples = machine.templog.samples
+    assert np.all(samples >= machine.network.ambient_temp - 1e-6)
+    assert np.all(samples < 120.0)

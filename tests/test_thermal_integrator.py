@@ -1,0 +1,177 @@
+"""Tests for the exponential-Euler thermal integrator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.thermal import ThermalIntegrator, ThermalNetwork, build_network, default
+
+
+def one_node_network(capacitance=2.0, conductance=0.5, ambient=20.0):
+    return ThermalNetwork(
+        capacitances=[capacitance],
+        conductances=np.zeros((1, 1)),
+        ambient_conductances=[conductance],
+        ambient_temp=ambient,
+    )
+
+
+def constant_power(watts, n=1):
+    vec = np.zeros(n)
+    vec[0] = watts
+    return lambda temps: vec
+
+
+def test_initial_temps_default_to_ambient():
+    net = one_node_network(ambient=33.0)
+    integ = ThermalIntegrator(net)
+    assert np.allclose(integ.temps, 33.0)
+
+
+def test_matches_analytic_single_node_exponential():
+    """T(t) = T_ss + (T0 - T_ss) exp(-t/RC), exact for constant power."""
+    cap, cond, ambient, power = 2.0, 0.5, 20.0, 10.0
+    net = one_node_network(cap, cond, ambient)
+    integ = ThermalIntegrator(net, max_substep=0.05)
+    integ.advance(3.0, constant_power(power))
+    tau = cap / cond
+    t_ss = ambient + power / cond
+    expected = t_ss + (ambient - t_ss) * np.exp(-3.0 / tau)
+    assert integ.temps[0] == pytest.approx(expected, rel=1e-9)
+
+
+def test_result_independent_of_substep_for_constant_power():
+    """Exponential Euler is exact for constant power: substep must not matter."""
+    net = one_node_network()
+    coarse = ThermalIntegrator(net, max_substep=1.0)
+    fine = ThermalIntegrator(net, max_substep=0.001)
+    coarse.advance(2.0, constant_power(7.0))
+    fine.advance(2.0, constant_power(7.0))
+    assert coarse.temps[0] == pytest.approx(fine.temps[0], rel=1e-10)
+
+
+def test_advance_energy_accounting():
+    net = one_node_network()
+    integ = ThermalIntegrator(net)
+    result = integ.advance(4.0, constant_power(10.0))
+    assert result.energy == pytest.approx(40.0)
+    assert result.average_power == pytest.approx(10.0)
+
+
+def test_zero_duration_advance():
+    net = one_node_network()
+    integ = ThermalIntegrator(net)
+    before = integ.temps.copy()
+    result = integ.advance(0.0, constant_power(10.0))
+    assert result.energy == 0.0
+    assert np.array_equal(integ.temps, before)
+
+
+def test_negative_duration_rejected():
+    net = one_node_network()
+    integ = ThermalIntegrator(net)
+    with pytest.raises(ConfigurationError):
+        integ.advance(-1.0, constant_power(1.0))
+
+
+def test_invalid_substep_rejected():
+    net = one_node_network()
+    with pytest.raises(ConfigurationError):
+        ThermalIntegrator(net, max_substep=0.0)
+
+
+def test_split_advance_equals_single_advance():
+    """Advancing 1 s twice equals advancing 2 s once (constant power)."""
+    net = build_network(default(), num_cores=2)
+    power = np.zeros(net.num_nodes)
+    power[0] = 15.0
+    fn = lambda temps: power
+    a = ThermalIntegrator(net, max_substep=0.005)
+    b = ThermalIntegrator(net, max_substep=0.005)
+    a.advance(2.0, fn)
+    b.advance(1.0, fn)
+    b.advance(1.0, fn)
+    assert np.allclose(a.temps, b.temps, atol=1e-9)
+
+
+def test_converges_to_steady_state():
+    net = one_node_network(capacitance=0.5, conductance=1.0, ambient=25.0)
+    integ = ThermalIntegrator(net)
+    integ.advance(20.0, constant_power(8.0))  # 40 time constants
+    assert integ.temps[0] == pytest.approx(33.0, abs=1e-6)
+
+
+def test_settle_linear_matches_steady_state():
+    net = build_network(default(), num_cores=4)
+    power = np.zeros(net.num_nodes)
+    power[:4] = 12.0
+    integ = ThermalIntegrator(net)
+    settled = integ.settle(lambda temps: power)
+    assert np.allclose(settled, net.steady_state(power), atol=1e-5)
+
+
+def test_settle_with_temperature_feedback():
+    """Settle handles convex (leakage-like) power and finds the fixed point."""
+    net = one_node_network(capacitance=1.0, conductance=1.0, ambient=25.0)
+
+    def power_fn(temps):
+        return np.array([5.0 + 0.1 * (temps[0] - 25.0)])
+
+    integ = ThermalIntegrator(net)
+    settled = integ.settle(power_fn)
+    # Fixed point: dT = 5 + 0.1 dT  =>  dT = 5 / 0.9.
+    assert settled[0] == pytest.approx(25.0 + 5.0 / 0.9, abs=1e-4)
+
+
+def test_leakage_feedback_raises_temperature():
+    """Temperature-dependent power must settle hotter than constant power."""
+    net = one_node_network(capacitance=1.0, conductance=1.0, ambient=25.0)
+    constant = ThermalIntegrator(net)
+    constant.advance(30.0, constant_power(5.0))
+    feedback = ThermalIntegrator(net)
+    feedback.advance(30.0, lambda t: np.array([5.0 + 0.2 * max(0.0, t[0] - 25.0)]))
+    assert feedback.temps[0] > constant.temps[0] + 0.5
+
+
+def test_cooling_is_fast_then_slow():
+    """The die node loses most of its local rise within ~3 die taus."""
+    net = build_network(default(), num_cores=4)
+    power = np.zeros(net.num_nodes)
+    power[0] = 15.0
+    integ = ThermalIntegrator(net, max_substep=0.002)
+    integ.settle(lambda t: power)
+    hot = integ.temps.copy()
+    zero = lambda t: np.zeros(net.num_nodes)
+    integ.advance(0.1, zero)  # 100 ms of idle
+    after_short = integ.temps[0]
+    # The core-local component (core minus spreader) collapses quickly.
+    local_before = hot[0] - hot[4]
+    local_after = after_short - integ.temps[4]
+    assert local_after < 0.2 * local_before
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    power=st.floats(min_value=0.0, max_value=50.0),
+    duration=st.floats(min_value=0.01, max_value=5.0),
+)
+def test_energy_equals_power_times_time_property(power, duration):
+    net = one_node_network()
+    integ = ThermalIntegrator(net)
+    result = integ.advance(duration, constant_power(power))
+    assert result.energy == pytest.approx(power * duration, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(power=st.floats(min_value=0.0, max_value=80.0))
+def test_monotone_heating_property(power):
+    """Under constant non-negative power from ambient, temperature never
+    exceeds the steady state and never drops below ambient."""
+    net = one_node_network()
+    integ = ThermalIntegrator(net)
+    t_ss = net.steady_state(np.array([power]))[0]
+    for _ in range(10):
+        integ.advance(0.5, constant_power(power))
+        assert net.ambient_temp - 1e-9 <= integ.temps[0] <= t_ss + 1e-9

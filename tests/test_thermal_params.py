@@ -1,0 +1,48 @@
+"""Tests for thermal parameter presets and derived properties."""
+
+import numpy as np
+import pytest
+
+from repro.thermal import ThermalParams, build_network, default, fast
+
+
+def test_ambient_includes_case_rise():
+    params = ThermalParams(room_temp=25.2, case_air_rise=4.0)
+    assert params.ambient_temp == pytest.approx(29.2)
+
+
+def test_sink_time_constant():
+    params = default()
+    assert params.sink_time_constant == pytest.approx(
+        params.sink_capacitance / params.sink_to_ambient
+    )
+    # Calibration: tens of seconds (paper: stabilisation within ~300 s
+    # once leakage feedback stretches it).
+    assert 30.0 < params.sink_time_constant < 120.0
+
+
+def test_core_time_constant_is_fast():
+    """Cores must cool 'exponentially quickly within a short time
+    window' (§3.4): a die time constant of a few tens of ms."""
+    assert 0.005 < default().core_time_constant < 0.1
+
+
+def test_fast_mode_preserves_steady_state():
+    slow_net = build_network(default(), 4)
+    fast_net = build_network(fast(), 4)
+    power = np.zeros(6)
+    power[:4] = 15.0
+    assert np.allclose(
+        slow_net.steady_state(power), fast_net.steady_state(power), atol=1e-9
+    )
+
+
+def test_fast_mode_compresses_transients():
+    assert fast().sink_time_constant < default().sink_time_constant / 4
+
+
+def test_default_network_time_scale_separation():
+    """Die, spreader, and sink time constants are well separated, which
+    is what makes short idle quanta efficient and long ones not."""
+    taus = build_network(default(), 4).time_constants()
+    assert taus[-1] / taus[0] > 1000.0

@@ -1,0 +1,73 @@
+"""Tests for simulated temperature sensors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import RngRegistry
+from repro.thermal import SensorBank, TemperatureSensor
+
+
+def test_ideal_sensor_reads_exact_value():
+    sensor = TemperatureSensor(0, quantization=0.0)
+    assert sensor.read([42.37]) == 42.37
+
+
+def test_quantization_rounds_to_grid():
+    sensor = TemperatureSensor(0, quantization=1.0)
+    assert sensor.read([42.37]) == 42.0
+    assert sensor.read([42.51]) == 43.0
+
+
+def test_quantization_half_degree():
+    sensor = TemperatureSensor(0, quantization=0.5)
+    assert sensor.read([42.30]) == 42.5
+
+
+def test_sensor_reads_its_own_node():
+    sensor = TemperatureSensor(2, quantization=0.0)
+    assert sensor.read([10.0, 20.0, 30.0]) == 30.0
+
+
+def test_noise_requires_rng():
+    with pytest.raises(ConfigurationError):
+        TemperatureSensor(0, noise_std=0.5)
+
+
+def test_negative_noise_rejected():
+    with pytest.raises(ConfigurationError):
+        TemperatureSensor(0, noise_std=-1.0)
+
+
+def test_noisy_sensor_is_deterministic_per_seed():
+    rng_a = RngRegistry(seed=3).stream("sensor")
+    rng_b = RngRegistry(seed=3).stream("sensor")
+    a = TemperatureSensor(0, quantization=0.0, noise_std=0.3, rng=rng_a)
+    b = TemperatureSensor(0, quantization=0.0, noise_std=0.3, rng=rng_b)
+    assert [a.read([50.0]) for _ in range(5)] == [b.read([50.0]) for _ in range(5)]
+
+
+def test_noisy_sensor_statistics():
+    rng = RngRegistry(seed=1).stream("sensor")
+    sensor = TemperatureSensor(0, quantization=0.0, noise_std=0.25, rng=rng)
+    reads = np.array([sensor.read([50.0]) for _ in range(4000)])
+    assert abs(reads.mean() - 50.0) < 0.05
+    assert 0.2 < reads.std() < 0.3
+
+
+def test_bank_ideal_reads_all_nodes():
+    bank = SensorBank.ideal([0, 1, 2])
+    reads = bank.read([1.5, 2.5, 3.5, 99.0])
+    assert np.allclose(reads, [1.5, 2.5, 3.5])
+
+
+def test_bank_coretemp_quantizes():
+    rng = RngRegistry(seed=5).stream("sensor")
+    bank = SensorBank.coretemp([0, 1], rng, noise_std=0.0)
+    reads = bank.read([41.2, 43.8])
+    assert np.allclose(reads, [41.0, 44.0])
+
+
+def test_empty_bank_rejected():
+    with pytest.raises(ConfigurationError):
+        SensorBank([])

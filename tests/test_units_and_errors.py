@@ -1,0 +1,85 @@
+"""Tests for unit helpers, errors, and the reporting module."""
+
+import pytest
+
+from repro import errors, units
+from repro.experiments.reporting import format_series, format_table, percent
+
+
+# ----------------------------------------------------------------------
+# units
+# ----------------------------------------------------------------------
+def test_time_constants():
+    assert units.MS == 1e-3
+    assert units.US == 1e-6
+    assert units.MINUTE == 60.0
+
+
+def test_conversions():
+    assert units.ms(25) == 0.025
+    assert units.to_ms(0.025) == 25.0
+    assert units.us(40) == pytest.approx(4e-5)
+
+
+def test_frequency_constants():
+    assert units.GHZ == 1e9
+    assert units.MHZ == 1e6
+
+
+def test_temperature_conversions():
+    assert units.celsius_to_kelvin(0.0) == 273.15
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(42.0)) == pytest.approx(42.0)
+
+
+# ----------------------------------------------------------------------
+# errors
+# ----------------------------------------------------------------------
+def test_error_hierarchy():
+    for exc in (
+        errors.SimulationError,
+        errors.ConfigurationError,
+        errors.SchedulerError,
+        errors.WorkloadError,
+        errors.AnalysisError,
+    ):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    text = format_table(["a", "long_header"], [[1, 2.5], [10, 3.25]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "long_header" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_format_table_title():
+    text = format_table(["x"], [[1]], title="My Title")
+    assert text.splitlines()[0] == "My Title"
+
+
+def test_format_table_float_rendering():
+    text = format_table(["v"], [[float("nan")], [12345.6], [0.5]])
+    assert "nan" in text
+    assert "12346" in text
+    assert "0.500" in text
+
+
+def test_format_series_downsamples():
+    xs = list(range(100))
+    ys = [2 * x for x in xs]
+    text = format_series("s", xs, ys, max_points=10)
+    assert text.startswith("s: ")
+    assert text.count("(") <= 13
+
+
+def test_format_series_empty():
+    assert "empty" in format_series("s", [], [])
+
+
+def test_percent():
+    assert percent(0.125) == "12.5%"

@@ -1,0 +1,80 @@
+"""Tests for trace-driven workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.experiments import Machine, fast_config
+from repro.sim import RngRegistry
+from repro.workloads import Burst, TraceWorkload, synthesize_bursty_trace, trace_utilization
+
+
+def test_trace_replays_in_order():
+    trace = [(0.5, 1.0), (0.25, 0.0)]
+    w = TraceWorkload(trace)
+    first = w.next_burst()
+    assert isinstance(first, Burst)
+    assert first.cpu_time == 0.5
+    assert first.sleep_time == 1.0
+    second = w.next_burst()
+    assert second.cpu_time == 0.25
+    assert w.next_burst() is None
+    assert w.replayed_entries == 2
+
+
+def test_trace_loops():
+    w = TraceWorkload([(0.1, 0.1)], loop=True)
+    for _ in range(5):
+        assert isinstance(w.next_burst(), Burst)
+    assert w.replayed_entries == 5
+
+
+def test_trace_validation():
+    with pytest.raises(WorkloadError):
+        TraceWorkload([])
+    with pytest.raises(WorkloadError):
+        TraceWorkload([(0.0, 1.0)])
+    with pytest.raises(WorkloadError):
+        TraceWorkload([(1.0, -1.0)])
+
+
+def test_trace_utilization():
+    assert trace_utilization([(1.0, 1.0)]) == pytest.approx(0.5)
+    assert trace_utilization([(1.0, 0.0)]) == pytest.approx(1.0)
+
+
+def test_synthesized_trace_hits_target_utilization():
+    rng = RngRegistry(7).stream("trace")
+    trace = synthesize_bursty_trace(rng, duration=500.0, utilization=0.3)
+    assert trace_utilization(trace) == pytest.approx(0.3, abs=0.05)
+    assert sum(c + g for c, g in trace) >= 500.0
+
+
+def test_synthesize_validation():
+    rng = RngRegistry(7).stream("trace")
+    with pytest.raises(WorkloadError):
+        synthesize_bursty_trace(rng, duration=10.0, utilization=0.0)
+    with pytest.raises(WorkloadError):
+        synthesize_bursty_trace(rng, duration=0.0, utilization=0.5)
+
+
+def test_trace_workload_runs_on_machine():
+    machine = Machine(fast_config())
+    rng = machine.rng.stream("trace")
+    trace = synthesize_bursty_trace(rng, duration=30.0, utilization=0.4, mean_burst=0.2)
+    thread = machine.scheduler.spawn(TraceWorkload(trace))
+    machine.run(30.0)
+    busy_fraction = thread.stats.work_done / 30.0
+    assert busy_fraction == pytest.approx(0.4, abs=0.08)
+
+
+def test_injection_slows_trace_replay():
+    def run(p):
+        machine = Machine(fast_config())
+        trace = [(0.2, 0.05)] * 120
+        thread = machine.scheduler.spawn(TraceWorkload(trace))
+        if p:
+            machine.control.set_global_policy(p, 0.05, deterministic=True)
+        machine.run(25.0)
+        return thread.workload.replayed_entries
+
+    assert run(0.75) < run(0.0)

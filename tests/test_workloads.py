@@ -1,0 +1,166 @@
+"""Tests for the workload generators (cpuburn, SPEC, mixes)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads import (
+    Burst,
+    CpuBurn,
+    DutyCycledBurn,
+    FiniteCpuBurn,
+    SpecWorkload,
+    TABLE1_FIT,
+    TABLE1_RISE_PERCENT,
+    activity_for_rise,
+    all_benchmarks,
+    spec_profile,
+)
+
+
+# ----------------------------------------------------------------------
+# cpuburn
+# ----------------------------------------------------------------------
+def test_cpuburn_is_maximal_activity():
+    burn = CpuBurn()
+    assert burn.activity == 1.0
+    assert burn.cpu_fraction == 1.0
+    assert burn.name == "cpuburn"
+
+
+def test_cpuburn_never_ends():
+    burn = CpuBurn(chunk=5.0)
+    for _ in range(10):
+        burst = burn.next_burst()
+        assert isinstance(burst, Burst)
+        assert burst.cpu_time == 5.0
+        assert burst.sleep_time == 0.0
+
+
+def test_cpuburn_validates_chunk():
+    with pytest.raises(WorkloadError):
+        CpuBurn(chunk=0.0)
+
+
+def test_finite_cpuburn_emits_once():
+    burn = FiniteCpuBurn(7.0)
+    burst = burn.next_burst()
+    assert burst.cpu_time == 7.0
+    assert burn.next_burst() is None
+
+
+def test_finite_cpuburn_validates():
+    with pytest.raises(WorkloadError):
+        FiniteCpuBurn(0.0)
+
+
+def test_duty_cycled_burn_pattern():
+    cool = DutyCycledBurn(burn_time=6.0, sleep_time=60.0)
+    burst = cool.next_burst()
+    assert burst.cpu_time == 6.0
+    assert burst.sleep_time == 60.0
+
+
+def test_duty_cycled_burn_iteration_limit():
+    cool = DutyCycledBurn(burn_time=1.0, sleep_time=1.0, iterations=2)
+    for _ in range(2):
+        burst = cool.next_burst()
+        burst.on_complete(0.0)
+    assert cool.completed_iterations == 2
+    assert cool.next_burst() is None
+
+
+def test_duty_cycled_validates():
+    with pytest.raises(WorkloadError):
+        DutyCycledBurn(burn_time=0.0)
+    with pytest.raises(WorkloadError):
+        DutyCycledBurn(burn_time=1.0, sleep_time=-1.0)
+
+
+# ----------------------------------------------------------------------
+# SPEC profiles
+# ----------------------------------------------------------------------
+def test_table1_constants_present():
+    assert set(TABLE1_RISE_PERCENT) == {
+        "cpuburn",
+        "calculix",
+        "namd",
+        "dealII",
+        "bzip2",
+        "gcc",
+        "astar",
+    }
+    assert TABLE1_FIT["cpuburn"] == (1.092, 1.541)
+
+
+def test_all_benchmarks_sorted_hottest_first():
+    names = all_benchmarks()
+    assert names[0] == "calculix"
+    assert names[-1] == "astar"
+    rises = [TABLE1_RISE_PERCENT[n] for n in names]
+    assert rises == sorted(rises, reverse=True)
+
+
+def test_spec_profile_activity_ordering():
+    """Hotter benchmarks require larger activity factors."""
+    activities = [spec_profile(n).activity for n in all_benchmarks()]
+    assert activities == sorted(activities, reverse=True)
+    assert all(0.0 < a <= 1.0 for a in activities)
+
+
+def test_spec_profile_cpuburn_is_unity():
+    assert spec_profile("cpuburn").activity == 1.0
+
+
+def test_spec_profile_cached():
+    assert spec_profile("astar") is spec_profile("astar")
+
+
+def test_spec_profile_unknown():
+    with pytest.raises(ConfigurationError):
+        spec_profile("nonexistent")
+
+
+def test_spec_workload_carries_profile():
+    w = SpecWorkload("gcc")
+    assert w.name == "gcc"
+    assert w.activity == spec_profile("gcc").activity
+    assert isinstance(w.next_burst(), Burst)
+
+
+def test_activity_for_rise_calibration():
+    """The calibrated activity reproduces the requested rise fraction."""
+    from repro.cpu import Chip
+    from repro.thermal import build_network, default
+    from repro.workloads.spec import _steady_busy_temp, _steady_idle_temp
+
+    chip = Chip()
+    network = build_network(default(), chip.num_cores)
+    idle = _steady_idle_temp(chip, network)
+    full_rise = _steady_busy_temp(1.0, chip, network) - idle
+    activity = activity_for_rise(0.8, chip=chip)
+    achieved = _steady_busy_temp(activity, chip, network) - idle
+    assert achieved / full_rise == pytest.approx(0.8, abs=0.01)
+
+
+def test_activity_for_rise_validates():
+    with pytest.raises(ConfigurationError):
+        activity_for_rise(0.0)
+    with pytest.raises(ConfigurationError):
+        activity_for_rise(1.5)
+
+
+# ----------------------------------------------------------------------
+# Mixes
+# ----------------------------------------------------------------------
+def test_hot_cool_mix_structure():
+    from repro.experiments import Machine, fast_config
+    from repro.workloads import build_hot_cool_mix
+
+    machine = Machine(fast_config())
+    mix = build_hot_cool_mix(machine.scheduler, hot_count=4, burn_time=1.0, sleep_time=2.0)
+    assert len(mix.hot_threads) == 4
+    assert mix.cool_thread.name == "cool"
+    assert len(mix.all_threads) == 5
+    assert all(t.workload.name == "calculix" for t in mix.hot_threads)
+    machine.run(4.0)
+    assert mix.cool_workload.completed_iterations >= 1
