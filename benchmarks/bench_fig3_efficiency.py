@@ -12,8 +12,10 @@ from repro.experiments.figures import fig3_efficiency
 
 
 @pytest.mark.benchmark(group="fig3")
-def test_fig3_efficiency(benchmark, config, show):
-    result = benchmark.pedantic(lambda: fig3_efficiency(config), rounds=1, iterations=1)
+def test_fig3_efficiency(benchmark, config, show, runner):
+    result = benchmark.pedantic(
+        lambda: fig3_efficiency(config, runner=runner), rounds=1, iterations=1
+    )
     show(result, "Figure 3 — efficiency (temp:throughput) vs quantum length")
 
     for p in (0.25, 0.5, 0.75):

@@ -13,9 +13,9 @@ from repro.experiments.figures import fig4_technique_comparison
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4_technique_comparison(benchmark, config, show):
+def test_fig4_technique_comparison(benchmark, config, show, runner):
     result = benchmark.pedantic(
-        lambda: fig4_technique_comparison(config), rounds=1, iterations=1
+        lambda: fig4_technique_comparison(config, runner=runner), rounds=1, iterations=1
     )
     show(result, "Figure 4 — Dimetrodon vs VFS vs p4tcc")
 

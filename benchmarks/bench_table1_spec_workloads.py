@@ -13,9 +13,9 @@ from repro.workloads import TABLE1_RISE_PERCENT
 
 
 @pytest.mark.benchmark(group="table1")
-def test_table1_spec_workloads(benchmark, config, show):
+def test_table1_spec_workloads(benchmark, config, show, runner):
     result = benchmark.pedantic(
-        lambda: table1_spec_workloads(config), rounds=1, iterations=1
+        lambda: table1_spec_workloads(config, runner=runner), rounds=1, iterations=1
     )
     show(result, "Table 1 — SPEC CPU2006 workloads")
 

@@ -12,9 +12,9 @@ from repro.experiments.tables import validate_energy_model
 
 
 @pytest.mark.benchmark(group="validation")
-def test_energy_model_validation(benchmark, config, show):
+def test_energy_model_validation(benchmark, config, show, runner):
     result = benchmark.pedantic(
-        lambda: validate_energy_model(config), rounds=1, iterations=1
+        lambda: validate_energy_model(config, runner=runner), rounds=1, iterations=1
     )
     show(result, "§3.3 — energy validation (Dimetrodon vs race-to-idle)")
 

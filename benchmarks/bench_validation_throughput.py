@@ -12,9 +12,9 @@ from repro.experiments.tables import validate_throughput_model
 
 
 @pytest.mark.benchmark(group="validation")
-def test_throughput_model_validation(benchmark, config, show):
+def test_throughput_model_validation(benchmark, config, show, runner):
     result = benchmark.pedantic(
-        lambda: validate_throughput_model(config), rounds=1, iterations=1
+        lambda: validate_throughput_model(config, runner=runner), rounds=1, iterations=1
     )
     show(result, "§3.3 — throughput model validation")
 

@@ -60,6 +60,14 @@ from .experiments import (
     validate_energy_model,
     validate_throughput_model,
 )
+from .runtime import (
+    ParallelRunner,
+    ResultCache,
+    RunnerMetrics,
+    RunSpec,
+    characterization_spec,
+    finite_cpuburn_spec,
+)
 from .sched import DimetrodonControl, Scheduler, Thread, ThreadKind
 from .sim import Simulator
 from .thermal import ThermalNetwork, ThermalParams
@@ -96,9 +104,13 @@ __all__ = [
     "IdleMode",
     "Machine",
     "NoInjectionPolicy",
+    "ParallelRunner",
     "PolicyTable",
     "PowerModel",
     "PowerParams",
+    "ResultCache",
+    "RunSpec",
+    "RunnerMetrics",
     "Scheduler",
     "Simulator",
     "SpecWorkload",
@@ -111,8 +123,10 @@ __all__ = [
     "TradeoffPoint",
     "WebServer",
     "Workload",
+    "characterization_spec",
     "default_config",
     "fast_config",
+    "finite_cpuburn_spec",
     "fig1_power_trace",
     "fig2_temperature_timeseries",
     "fig3_efficiency",

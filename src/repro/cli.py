@@ -6,13 +6,24 @@ Examples
 
     python -m repro list
     python -m repro fig3
+    python -m repro fig3 --jobs 4               # fan runs out over 4 workers
     python -m repro fig4 --full --seed 7
-    python -m repro all
+    python -m repro smoke --jobs 2              # tiny end-to-end batch check
+    python -m repro all --no-cache
+
+Experiments built from independent characterization / finite runs
+(fig3, fig4, table1, the validations, smoke) execute through the
+:mod:`repro.runtime` batch layer: ``--jobs N`` runs them on a worker
+pool and results are cached on disk (default ``.repro-cache/``) so a
+repeat invocation is nearly instant.  ``--jobs``/caching have no effect
+on the single-machine experiments (fig1, fig2, fig5, fig6), which
+interleave all their threads on one simulated testbed.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -26,10 +37,15 @@ from .experiments import (
     fig5_per_thread_control,
     fig6_webserver_qos,
     full_config,
+    smoke_sweep,
     table1_spec_workloads,
     validate_energy_model,
     validate_throughput_model,
 )
+from .runtime import ParallelRunner, ProgressEvent, ResultCache
+
+#: Where run results are cached unless ``--cache-dir`` overrides it.
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: experiment name -> (description, runner).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -42,7 +58,18 @@ EXPERIMENTS: Dict[str, tuple] = {
     "table1": ("SPEC CPU2006 profiles and fits", table1_spec_workloads),
     "validate-throughput": ("throughput model validation (§3.3)", validate_throughput_model),
     "validate-energy": ("energy model validation (§3.3)", validate_energy_model),
+    "smoke": ("tiny sweep exercising the batch runtime (CI)", smoke_sweep),
 }
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,29 +89,108 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="paper-faithful timing (300 s runs) instead of the fast preset",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for batch experiments (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"on-disk result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run every simulation even if a cached result exists",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per completed batch run",
+    )
     return parser
 
 
-def run_experiment(name: str, *, seed: int = 0, full: bool = False) -> str:
+def supports_runner(func: Callable) -> bool:
+    """Whether an experiment accepts the batch ``runner`` keyword."""
+    return "runner" in inspect.signature(func).parameters
+
+
+def _print_progress(event: ProgressEvent) -> None:
+    params = ", ".join(f"{k}={v}" for k, v in event.spec.params.items())
+    print(
+        f"  [{event.done}/{event.total}] {event.source:<5s} "
+        f"{event.spec.kind}({params})",
+        file=sys.stderr,
+    )
+
+
+def make_runner(
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+    use_cache: bool = True,
+    progress: bool = False,
+) -> ParallelRunner:
+    """The CLI's batch runner: pool size + on-disk cache + progress."""
+    cache = ResultCache(cache_dir or DEFAULT_CACHE_DIR) if use_cache else None
+    return ParallelRunner(
+        jobs=jobs,
+        cache=cache,
+        progress=_print_progress if progress else None,
+    )
+
+
+def run_experiment(
+    name: str,
+    *,
+    seed: int = 0,
+    full: bool = False,
+    runner: Optional[ParallelRunner] = None,
+) -> str:
     """Run one experiment and return its rendered text."""
     config = full_config(seed) if full else fast_config(seed)
-    _, runner = EXPERIMENTS[name]
+    _, func = EXPERIMENTS[name]
     started = time.time()
-    result = runner(config)
-    elapsed = time.time() - started
-    return f"{result.render()}\n[{name}: {elapsed:.1f}s wall]"
+    if runner is not None and supports_runner(func):
+        executed_before = runner.metrics.executed
+        hits_before = runner.metrics.cache_hits
+        result = func(config, runner=runner)
+        elapsed = time.time() - started
+        executed = runner.metrics.executed - executed_before
+        hits = runner.metrics.cache_hits - hits_before
+        status = (
+            f"[{name}: {elapsed:.1f}s wall | runs: {executed} executed, "
+            f"{hits} cached | jobs={runner.jobs}]"
+        )
+    else:
+        result = func(config)
+        elapsed = time.time() - started
+        status = f"[{name}: {elapsed:.1f}s wall]"
+    return f"{result.render()}\n{status}"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
-            description, _ = EXPERIMENTS[name]
-            print(f"{name:22s} {description}")
+            description, func = EXPERIMENTS[name]
+            batch = " [batch]" if supports_runner(func) else ""
+            print(f"{name:22s} {description}{batch}")
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    runner = make_runner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=args.progress,
+    )
     for name in names:
-        print(run_experiment(name, seed=args.seed, full=args.full))
+        print(run_experiment(name, seed=args.seed, full=args.full, runner=runner))
         print()
     return 0
 

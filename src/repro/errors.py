@@ -40,6 +40,14 @@ class WorkloadError(ReproError):
     """Raised when a workload produces an invalid burst description."""
 
 
+class ExecutionError(ReproError):
+    """Raised when a batch run fails even after its retry.
+
+    Carries the first worker failure's traceback so pool failures are
+    debuggable from the parent process.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised when post-processing cannot produce a result.
 

@@ -19,10 +19,18 @@ from .machine import Machine
 from .runner import (
     CharacterizationResult,
     FiniteRunResult,
+    resolve_duration,
     run_characterization,
     run_finite_cpuburn,
 )
-from .sweeps import SweepResult, sweep_dimetrodon, sweep_tcc, sweep_vfs
+from .sweeps import (
+    SmokeResult,
+    SweepResult,
+    smoke_sweep,
+    sweep_dimetrodon,
+    sweep_tcc,
+    sweep_vfs,
+)
 from .tables import (
     EnergyValidationResult,
     Table1Result,
@@ -44,6 +52,7 @@ __all__ = [
     "Fig6Result",
     "FiniteRunResult",
     "Machine",
+    "SmokeResult",
     "SweepResult",
     "Table1Result",
     "ThroughputValidationResult",
@@ -56,8 +65,10 @@ __all__ = [
     "fig5_per_thread_control",
     "fig6_webserver_qos",
     "full_config",
+    "resolve_duration",
     "run_characterization",
     "run_finite_cpuburn",
+    "smoke_sweep",
     "sweep_dimetrodon",
     "sweep_tcc",
     "sweep_vfs",

@@ -22,6 +22,7 @@ from ..core.pareto import (
     pareto_boundary,
 )
 from ..instruments.stats import relative_reduction, throughput_reduction
+from ..runtime import ParallelRunner
 from ..units import MS
 from ..workloads.cpuburn import FiniteCpuBurn
 from ..workloads.mixes import build_hot_cool_mix
@@ -29,7 +30,7 @@ from ..workloads.webserver import QOS_GOOD, QOS_TOLERABLE, WebServer
 from .config import ExperimentConfig
 from .machine import Machine
 from .reporting import format_series, format_table, percent
-from .runner import run_characterization
+from .runner import resolve_duration, run_characterization
 from .sweeps import (
     FIG3_LS_MS,
     FIG3_PS,
@@ -170,7 +171,7 @@ def fig2_temperature_timeseries(
     duration: Optional[float] = None,
 ) -> Fig2Result:
     """cpuburn heating transients for several idle proportions."""
-    run_for = duration or config.characterization_duration
+    run_for = resolve_duration(duration, config)
     series: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
     final_rise: Dict[float, float] = {}
     ripple: Dict[float, float] = {}
@@ -232,8 +233,9 @@ def fig3_efficiency(
     *,
     ps: Sequence[float] = FIG3_PS,
     ls_ms: Sequence[float] = FIG3_LS_MS,
+    runner: Optional[ParallelRunner] = None,
 ) -> Fig3Result:
-    sweep = sweep_dimetrodon(config, ps=ps, ls_ms=ls_ms)
+    sweep = sweep_dimetrodon(config, ps=ps, ls_ms=ls_ms, runner=runner)
     efficiency = {
         (pt.params["p"], pt.params["L_ms"]): pt.efficiency for pt in sweep.points
     }
@@ -288,10 +290,11 @@ def fig4_technique_comparison(
     *,
     ps: Sequence[float] = FIG4_PS,
     ls_ms: Sequence[float] = FIG4_LS_MS,
+    runner: Optional[ParallelRunner] = None,
 ) -> Fig4Result:
-    dim = sweep_dimetrodon(config, ps=ps, ls_ms=ls_ms)
-    vfs = sweep_vfs(config)
-    tcc = sweep_tcc(config)
+    dim = sweep_dimetrodon(config, ps=ps, ls_ms=ls_ms, runner=runner)
+    vfs = sweep_vfs(config, runner=runner)
+    tcc = sweep_tcc(config, runner=runner)
     fit = fit_power_law(dim.points, r_max=0.95)
     crossover = crossover_reduction(dim.points, vfs.points)
     return Fig4Result(dimetrodon=dim, vfs=vfs, tcc=tcc, fit=fit, crossover=crossover)
@@ -351,7 +354,7 @@ def fig5_per_thread_control(
 ) -> Fig5Result:
     """The §3.6 demonstration: a duty-cycled "cool" process co-located
     with four hot calculix instances, under global vs per-thread policy."""
-    run_for = duration or config.characterization_duration
+    run_for = resolve_duration(duration, config)
     # Scale the paper's 6 s / 60 s duty cycle to the run length so a
     # handful of cool iterations always fit.  The sleep fraction is
     # compressed relative to the paper's 1:10 so that the global
@@ -461,7 +464,7 @@ def fig6_webserver_qos(
     warmup: float = 5.0,
 ) -> Fig6Result:
     """SPECWeb-like QoS under injection (§3.7)."""
-    run_for = duration or config.characterization_duration
+    run_for = resolve_duration(duration, config)
 
     def run_web(p: float, idle_quantum: float):
         machine = Machine(config)

@@ -32,6 +32,20 @@ def make_cpu_workload(name: str):
     return SpecWorkload(name)
 
 
+def resolve_duration(duration: Optional[float], config: ExperimentConfig) -> float:
+    """An explicit run duration, or the config's default when None.
+
+    A zero or negative duration is a configuration mistake, not a
+    request for the default — reject it rather than silently running
+    for ``config.characterization_duration``.
+    """
+    if duration is None:
+        return config.characterization_duration
+    if duration <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    return float(duration)
+
+
 @dataclass
 class CharacterizationResult:
     """Outcome of one static-policy characterisation run."""
@@ -68,6 +82,7 @@ def run_characterization(
 ) -> CharacterizationResult:
     """Run ``num_cores`` instances of a CPU-bound workload under a
     static policy and measure the §3.4 metrics."""
+    run_for = resolve_duration(duration, config)
     machine = Machine(config, idle_mode=idle_mode)
     if operating_point is not None:
         machine.chip.set_operating_point(operating_point)
@@ -79,7 +94,6 @@ def run_characterization(
     for i in range(config.num_cores):
         machine.scheduler.spawn(make_cpu_workload(workload), name=f"{workload}-{i}")
 
-    run_for = duration or config.characterization_duration
     machine.run(run_for)
 
     mean_temp = machine.mean_core_temp_over_window()

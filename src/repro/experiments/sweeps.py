@@ -2,6 +2,12 @@
 
 These produce the clouds of trade-off points from which Figures 3 and 4
 extract Pareto boundaries and §3.4/Table 1 fit power laws.
+
+Every run in a sweep is independent (each builds its own machine from
+the same config), so the sweeps fan out through a
+:class:`~repro.runtime.ParallelRunner`: pass ``runner=`` to execute on
+a worker pool and/or serve repeat runs from an on-disk cache.  With no
+runner the sweep executes serially in-process, exactly as before.
 """
 
 from __future__ import annotations
@@ -13,9 +19,11 @@ from ..core.pareto import TradeoffPoint
 from ..cpu.dvfs import OperatingPoint
 from ..cpu.tcc import TccSetting, setpoints
 from ..instruments.stats import relative_reduction, throughput_reduction
+from ..runtime import ParallelRunner, RunSpec, characterization_spec
 from ..units import MS
 from .config import ExperimentConfig
-from .runner import CharacterizationResult, run_characterization
+from .reporting import format_table
+from .runner import CharacterizationResult
 
 #: Figure 3's grid: idle proportions and quanta lengths.
 FIG3_PS = (0.1, 0.25, 0.5, 0.75)
@@ -52,6 +60,27 @@ class SweepResult:
         return point
 
 
+def _run_sweep(
+    technique: str,
+    workload: str,
+    specs: List[RunSpec],
+    param_grid: List[Dict[str, float]],
+    runner: Optional[ParallelRunner],
+) -> SweepResult:
+    """Execute baseline + grid as one batch and assemble the result.
+
+    ``specs[0]`` is the baseline; ``specs[1:]`` pair with ``param_grid``.
+    The batch keeps submission order, so results land exactly where the
+    old serial loop put them.
+    """
+    runner = runner if runner is not None else ParallelRunner()
+    results = runner.run(specs)
+    sweep = SweepResult(technique=technique, workload=workload, baseline=results[0])
+    for run, params in zip(results[1:], param_grid):
+        sweep.add(run, params)
+    return sweep
+
+
 def sweep_dimetrodon(
     config: ExperimentConfig,
     *,
@@ -60,22 +89,25 @@ def sweep_dimetrodon(
     ls_ms: Sequence[float] = FIG3_LS_MS,
     deterministic: bool = False,
     duration: Optional[float] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> SweepResult:
     """Sweep idle-injection (p, L) over a grid."""
-    baseline = run_characterization(config, workload=workload, duration=duration)
-    sweep = SweepResult(technique="dimetrodon", workload=workload, baseline=baseline)
+    specs = [characterization_spec(config, workload=workload, duration=duration)]
+    grid: List[Dict[str, float]] = []
     for p in ps:
         for l_ms in ls_ms:
-            run = run_characterization(
-                config,
-                workload=workload,
-                p=p,
-                idle_quantum=l_ms * MS,
-                deterministic=deterministic,
-                duration=duration,
+            specs.append(
+                characterization_spec(
+                    config,
+                    workload=workload,
+                    p=p,
+                    idle_quantum=l_ms * MS,
+                    deterministic=deterministic,
+                    duration=duration,
+                )
             )
-            sweep.add(run, {"p": p, "L_ms": l_ms})
-    return sweep
+            grid.append({"p": p, "L_ms": l_ms})
+    return _run_sweep("dimetrodon", workload, specs, grid, runner)
 
 
 def sweep_vfs(
@@ -84,19 +116,22 @@ def sweep_vfs(
     workload: str = "cpuburn",
     points: Optional[Sequence[OperatingPoint]] = None,
     duration: Optional[float] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> SweepResult:
     """Sweep static voltage/frequency setpoints (Figure 4's VFS)."""
-    baseline = run_characterization(config, workload=workload, duration=duration)
-    sweep = SweepResult(technique="vfs", workload=workload, baseline=baseline)
     from ..cpu.dvfs import xeon_e5520_table
 
     table_points = points if points is not None else list(xeon_e5520_table())
+    specs = [characterization_spec(config, workload=workload, duration=duration)]
+    grid: List[Dict[str, float]] = []
     for point in table_points:
-        run = run_characterization(
-            config, workload=workload, operating_point=point, duration=duration
+        specs.append(
+            characterization_spec(
+                config, workload=workload, operating_point=point, duration=duration
+            )
         )
-        sweep.add(run, {"freq_ghz": point.frequency / 1e9, "voltage": point.voltage})
-    return sweep
+        grid.append({"freq_ghz": point.frequency / 1e9, "voltage": point.voltage})
+    return _run_sweep("vfs", workload, specs, grid, runner)
 
 
 def sweep_tcc(
@@ -105,14 +140,54 @@ def sweep_tcc(
     workload: str = "cpuburn",
     duties: Optional[Sequence[TccSetting]] = None,
     duration: Optional[float] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> SweepResult:
     """Sweep thermal-control-circuit duty setpoints (Figure 4's p4tcc)."""
-    baseline = run_characterization(config, workload=workload, duration=duration)
-    sweep = SweepResult(technique="p4tcc", workload=workload, baseline=baseline)
     settings = duties if duties is not None else setpoints(8)[:-1]
+    specs = [characterization_spec(config, workload=workload, duration=duration)]
+    grid: List[Dict[str, float]] = []
     for setting in settings:
-        run = run_characterization(
-            config, workload=workload, tcc=setting, duration=duration
+        specs.append(
+            characterization_spec(
+                config, workload=workload, tcc=setting, duration=duration
+            )
         )
-        sweep.add(run, {"duty": setting.duty})
-    return sweep
+        grid.append({"duty": setting.duty})
+    return _run_sweep("p4tcc", workload, specs, grid, runner)
+
+
+# ----------------------------------------------------------------------
+# CI smoke sweep
+# ----------------------------------------------------------------------
+@dataclass
+class SmokeResult:
+    """A deliberately tiny sweep used to exercise the batch runtime
+    end-to-end (CLI ``smoke`` experiment; CI runs it with ``--jobs 2``)."""
+
+    sweep: SweepResult
+
+    def render(self) -> str:
+        rows = [
+            [pt.params["p"], pt.params["L_ms"], pt.temp_reduction, pt.throughput_reduction]
+            for pt in self.sweep.points
+        ]
+        return format_table(
+            ["p", "L [ms]", "temp red.", "tput red."],
+            rows,
+            title="Smoke sweep: tiny (p, L) grid through the batch runtime "
+            f"(baseline rise {self.sweep.baseline.temp_rise:.1f}C)",
+        )
+
+
+def smoke_sweep(
+    config: ExperimentConfig,
+    *,
+    runner: Optional[ParallelRunner] = None,
+) -> SmokeResult:
+    """A 5-run Dimetrodon sweep with 10 s-simulated runs (~seconds of
+    wall clock): enough to verify pool execution and caching, far too
+    short to measure steady-state physics."""
+    sweep = sweep_dimetrodon(
+        config, ps=(0.25, 0.5), ls_ms=(5.0, 25.0), duration=10.0, runner=runner
+    )
+    return SmokeResult(sweep=sweep)

@@ -10,12 +10,13 @@ import numpy as np
 from ..core.models import predicted_energy, predicted_runtime
 from ..core.pareto import PowerLawFit, fit_power_law
 from ..cpu.cstates import CState
+from ..runtime import ParallelRunner, characterization_spec, finite_cpuburn_spec
 from ..units import MS
 from ..workloads.spec import TABLE1_FIT, TABLE1_RISE_PERCENT, all_benchmarks
 from .config import ExperimentConfig
 from .machine import Machine
 from .reporting import format_table, percent
-from .runner import run_characterization, run_finite_cpuburn
+from .runner import run_characterization
 from .sweeps import sweep_dimetrodon
 
 
@@ -65,19 +66,25 @@ def table1_spec_workloads(
     ps: Sequence[float] = (0.25, 0.5, 0.75),
     ls_ms: Sequence[float] = (2.0, 10.0, 50.0),
     fit_r_max: float = 0.5,
+    runner: Optional[ParallelRunner] = None,
 ) -> Table1Result:
     """Reproduce Table 1: per-benchmark rise (% of cpuburn) and fits."""
-    burn_baseline = run_characterization(config, workload="cpuburn")
+    if runner is not None:
+        burn_baseline = runner.run([characterization_spec(config, workload="cpuburn")])[0]
+    else:
+        burn_baseline = run_characterization(config, workload="cpuburn")
     names = list(benchmarks) if benchmarks is not None else all_benchmarks()
     rows: List[Table1Row] = []
 
     # cpuburn row first, as in the paper.
-    burn_sweep = sweep_dimetrodon(config, workload="cpuburn", ps=ps, ls_ms=ls_ms)
+    burn_sweep = sweep_dimetrodon(
+        config, workload="cpuburn", ps=ps, ls_ms=ls_ms, runner=runner
+    )
     burn_fit = _safe_fit(burn_sweep.points, fit_r_max)
     rows.append(_make_row("cpuburn", 100.0, burn_fit))
 
     for name in names:
-        sweep = sweep_dimetrodon(config, workload=name, ps=ps, ls_ms=ls_ms)
+        sweep = sweep_dimetrodon(config, workload=name, ps=ps, ls_ms=ls_ms, runner=runner)
         rise_percent = 100.0 * sweep.baseline.temp_rise / burn_baseline.temp_rise
         fit = _safe_fit(sweep.points, fit_r_max)
         rows.append(_make_row(name, rise_percent, fit))
@@ -149,6 +156,7 @@ def validate_throughput_model(
     ps: Sequence[float] = (0.25, 0.5, 0.75),
     ls_ms: Sequence[float] = (25.0, 50.0, 75.0, 100.0),
     repetitions: int = 3,
+    runner: Optional[ParallelRunner] = None,
 ) -> ThroughputValidationResult:
     """Measured completion time vs D(t) = R + S·(p/(1-p))·L (§3.3).
 
@@ -157,24 +165,31 @@ def validate_throughput_model(
     configuration) each configuration is repeated with different seeds
     and the runtimes averaged.
     """
+    # The whole (p, L, repetition) grid is independent: fan it out as
+    # one batch, then regroup per configuration.
+    batch = ParallelRunner() if runner is None else runner
+    grid = [(p, l_ms) for p in ps for l_ms in ls_ms]
+    specs = [
+        (
+            config.with_seed(config.seed + 1000 * rep + 1),
+            {"total_cpu": total_cpu, "p": p, "idle_quantum": l_ms * MS},
+        )
+        for p, l_ms in grid
+        for rep in range(repetitions)
+    ]
+    results = batch.run_finite_cpuburns(specs)
+
     rows: List[ThroughputValidationRow] = []
-    for p in ps:
-        for l_ms in ls_ms:
-            runtimes: List[float] = []
-            for rep in range(repetitions):
-                result = run_finite_cpuburn(
-                    config.with_seed(config.seed + 1000 * rep + 1),
-                    total_cpu=total_cpu,
-                    p=p,
-                    idle_quantum=l_ms * MS,
-                )
-                runtimes.extend(result.runtimes)
-            predicted = predicted_runtime(total_cpu, config.quantum, p, l_ms * MS)
-            rows.append(
-                ThroughputValidationRow(
-                    p=p, l_ms=l_ms, predicted=predicted, measured=float(np.mean(runtimes))
-                )
+    for slot, (p, l_ms) in enumerate(grid):
+        runtimes: List[float] = []
+        for rep in range(repetitions):
+            runtimes.extend(results[slot * repetitions + rep].runtimes)
+        predicted = predicted_runtime(total_cpu, config.quantum, p, l_ms * MS)
+        rows.append(
+            ThroughputValidationRow(
+                p=p, l_ms=l_ms, predicted=predicted, measured=float(np.mean(runtimes))
             )
+        )
     return ThroughputValidationResult(total_cpu=total_cpu, rows=rows)
 
 
@@ -229,28 +244,30 @@ def validate_energy_model(
     total_cpu: float = 5.0,
     ps: Sequence[float] = (0.25, 0.5, 0.75),
     ls_ms: Sequence[float] = (50.0, 100.0),
+    runner: Optional[ParallelRunner] = None,
 ) -> EnergyValidationResult:
     """Dimetrodon vs race-to-idle energy over identical windows (§3.3).
 
     The paper runs a ~7 s finite cpuburn loop, measures power with the
     clamp, and finds Dimetrodon consumes 97.6–103.7 % of race-to-idle.
     """
-    rows: List[EnergyValidationRow] = []
-    for p in ps:
-        for l_ms in ls_ms:
-            dim = run_finite_cpuburn(
-                config, total_cpu=total_cpu, p=p, idle_quantum=l_ms * MS
-            )
-            window = dim.window
-            race = run_finite_cpuburn(
-                config, total_cpu=total_cpu, p=0.0, window=window
-            )
-            rows.append(
-                EnergyValidationRow(
-                    p=p,
-                    l_ms=l_ms,
-                    energy_race=race.energy,
-                    energy_dimetrodon=dim.energy,
-                )
-            )
+    # Two batches: the race-to-idle runs need the Dimetrodon runs'
+    # windows, so they cannot join the first fan-out.
+    batch = ParallelRunner() if runner is None else runner
+    grid = [(p, l_ms) for p in ps for l_ms in ls_ms]
+    dims = batch.run_finite_cpuburns(
+        [
+            (config, {"total_cpu": total_cpu, "p": p, "idle_quantum": l_ms * MS})
+            for p, l_ms in grid
+        ]
+    )
+    races = batch.run_finite_cpuburns(
+        [(config, {"total_cpu": total_cpu, "p": 0.0, "window": dim.window}) for dim in dims]
+    )
+    rows = [
+        EnergyValidationRow(
+            p=p, l_ms=l_ms, energy_race=race.energy, energy_dimetrodon=dim.energy
+        )
+        for (p, l_ms), dim, race in zip(grid, dims, races)
+    ]
     return EnergyValidationResult(total_cpu=total_cpu, rows=rows)

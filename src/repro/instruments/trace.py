@@ -71,7 +71,7 @@ class SchedulerTracer:
                 where = f"core{event.core}"
                 if event.context is not None:
                     where += f".{event.context}"
-            who = event.thread or (f"tid{event.tid}" if event.tid else "")
+            who = event.thread or (f"tid{event.tid}" if event.tid is not None else "")
             lines.append(f"{event.time * 1e3:10.3f}ms  {event.kind:<11s} {where:<8s} {who}")
             if len(lines) >= limit:
                 lines.append(f"... (truncated at {limit} events)")

@@ -1,0 +1,45 @@
+"""Batch execution runtime: parallel fan-out and on-disk result caching.
+
+Every figure and table of the evaluation is assembled from dozens of
+*independent* characterization / finite runs.  This package executes
+those batches:
+
+- :class:`ParallelRunner` fans :class:`RunSpec` batches out over a
+  ``multiprocessing`` pool (results always returned in submission
+  order, so outputs are bit-identical to a serial run);
+- :class:`ResultCache` persists results on disk keyed by a stable hash
+  of ``(config, run parameters, simulation-code fingerprint)`` so
+  repeating a sweep is a cache hit;
+- :class:`RunnerMetrics` / progress hooks report runs completed, cache
+  hits, and worker failures (each failed run is retried once).
+
+See ``docs/running-experiments.md`` for usage.
+"""
+
+from .cache import CacheStats, ResultCache
+from .hashing import CACHE_SCHEMA_VERSION, code_fingerprint, freeze, spec_key
+from .parallel import (
+    ParallelRunner,
+    ProgressEvent,
+    RunnerMetrics,
+    RunSpec,
+    characterization_spec,
+    finite_cpuburn_spec,
+    register_executor,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "ParallelRunner",
+    "ProgressEvent",
+    "ResultCache",
+    "RunSpec",
+    "RunnerMetrics",
+    "characterization_spec",
+    "code_fingerprint",
+    "finite_cpuburn_spec",
+    "freeze",
+    "register_executor",
+    "spec_key",
+]

@@ -1,0 +1,118 @@
+"""On-disk result cache for characterization and finite runs.
+
+Results are stored one JSON file per key under ``<root>/<key[:2]>/``.
+Python's ``repr``-based float serialisation round-trips exactly, so a
+result loaded from cache is bit-identical to the one that was stored.
+Corrupt or truncated files (e.g. from a killed run) are treated as
+misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from .hashing import CACHE_SCHEMA_VERSION
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+def _encode(result: Any) -> dict:
+    """Serialise a result dataclass to a tagged JSON payload."""
+    # Imported here (not at module top) so the runtime package never
+    # holds an import-time edge back into repro.experiments.
+    from ..experiments.runner import CharacterizationResult, FiniteRunResult
+
+    kinds = {
+        CharacterizationResult: "characterization",
+        FiniteRunResult: "finite_cpuburn",
+    }
+    kind = kinds.get(type(result))
+    if kind is None:
+        raise TypeError(
+            f"cannot cache a {type(result).__name__}; register a codec for it"
+        )
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": kind,
+        "result": dataclasses.asdict(result),
+    }
+
+
+def _decode(payload: dict) -> Any:
+    """Rebuild a result dataclass from :func:`_encode` output."""
+    from ..experiments.runner import CharacterizationResult, FiniteRunResult
+
+    if payload.get("schema") != CACHE_SCHEMA_VERSION:
+        raise ValueError("cache schema mismatch")
+    classes = {
+        "characterization": CharacterizationResult,
+        "finite_cpuburn": FiniteRunResult,
+    }
+    return classes[payload["kind"]](**payload["result"])
+
+
+class ResultCache:
+    """A content-addressed store of experiment results on disk."""
+
+    def __init__(self, root: Union[str, Path]):
+        # The directory is created lazily on first store, so pointing a
+        # runner at a cache it never uses leaves no trace on disk.
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached result for ``key``, or None (counted as a miss)."""
+        try:
+            with self.path(key).open() as handle:
+                payload = json.load(handle)
+            result = _decode(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: Any) -> None:
+        """Store ``result`` under ``key`` (atomic: write + rename)."""
+        target = self.path(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(_encode(result), handle)
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink()
+            removed += 1
+        return removed

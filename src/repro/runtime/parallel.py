@@ -1,0 +1,272 @@
+"""Parallel fan-out of independent experiment runs.
+
+Every run in a batch builds its own :class:`~repro.experiments.machine.Machine`
+from its own config, so runs share no state and the fan-out is
+embarrassingly parallel.  :class:`ParallelRunner` guarantees:
+
+- **Determinism** — each run's seed travels inside its
+  :class:`RunSpec`; results are returned in submission order no matter
+  which worker finished first, so a ``jobs=N`` batch is bit-identical
+  to ``jobs=1``.
+- **Caching** — with a :class:`~repro.runtime.cache.ResultCache`
+  attached, completed runs are persisted and later batches skip them.
+- **Fault tolerance** — a run that dies in a worker is retried once,
+  serially in the parent (deterministic); a second failure raises
+  :class:`~repro.errors.ExecutionError` carrying the worker traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, ExecutionError
+from .cache import ResultCache
+from .hashing import spec_key
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent run: which function, on what config, with what
+    parameters.  Must be picklable (it crosses process boundaries) and
+    stably hashable via :func:`~repro.runtime.hashing.spec_key`."""
+
+    kind: str  # an executor name: "characterization" | "finite_cpuburn" | custom
+    config: Any  # ExperimentConfig (typed loosely to keep this layer generic)
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return spec_key(self.kind, self.config, dict(self.params))
+
+
+def characterization_spec(config: Any, **params: Any) -> RunSpec:
+    """Spec for :func:`repro.experiments.runner.run_characterization`."""
+    return RunSpec(kind="characterization", config=config, params=params)
+
+
+def finite_cpuburn_spec(config: Any, **params: Any) -> RunSpec:
+    """Spec for :func:`repro.experiments.runner.run_finite_cpuburn`."""
+    return RunSpec(kind="finite_cpuburn", config=config, params=params)
+
+
+# ----------------------------------------------------------------------
+# Executor registry
+# ----------------------------------------------------------------------
+_EXECUTORS: Dict[str, Callable[..., Any]] = {}
+
+
+def register_executor(kind: str, fn: Callable[..., Any]) -> None:
+    """Register a run kind: ``fn(config, **params) -> picklable result``.
+
+    The built-in kinds are registered lazily; custom kinds let callers
+    batch their own run functions through the same pool/cache plumbing
+    (with ``fork`` workers the registration is inherited automatically).
+    """
+    _EXECUTORS[kind] = fn
+
+
+def _resolve_executor(kind: str) -> Callable[..., Any]:
+    if kind not in _EXECUTORS:
+        # Lazy so importing repro.runtime never triggers (and can never
+        # cycle with) the repro.experiments package import.
+        from ..experiments.runner import run_characterization, run_finite_cpuburn
+
+        _EXECUTORS.setdefault("characterization", run_characterization)
+        _EXECUTORS.setdefault("finite_cpuburn", run_finite_cpuburn)
+    try:
+        return _EXECUTORS[kind]
+    except KeyError:
+        raise ConfigurationError(f"unknown run kind {kind!r}") from None
+
+
+def execute_spec(spec: RunSpec) -> Any:
+    """Run one spec in the current process."""
+    return _resolve_executor(spec.kind)(spec.config, **spec.params)
+
+
+def _pool_worker(indexed: Tuple[int, RunSpec]) -> Tuple[int, bool, Any]:
+    """Top-level (picklable) pool target; never raises, so one bad run
+    cannot poison the whole map call."""
+    index, spec = indexed
+    try:
+        return index, True, execute_spec(spec)
+    except Exception:
+        return index, False, traceback.format_exc()
+
+
+# ----------------------------------------------------------------------
+# Metrics and progress
+# ----------------------------------------------------------------------
+@dataclass
+class RunnerMetrics:
+    """Cumulative counters over a runner's lifetime."""
+
+    submitted: int = 0
+    completed: int = 0
+    #: Runs actually simulated (cache misses).
+    executed: int = 0
+    cache_hits: int = 0
+    cache_stores: int = 0
+    #: Worker failures observed (each is retried once in the parent).
+    failures: int = 0
+    retries: int = 0
+
+    def summary(self) -> str:
+        parts = [f"{self.executed} executed", f"{self.cache_hits} cached"]
+        if self.failures:
+            parts.append(f"{self.failures} failed/{self.retries} retried")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Emitted once per completed run (cache hit, pool run, or retry)."""
+
+    index: int  # position in the submitted batch
+    done: int  # runs completed so far (this batch)
+    total: int  # batch size
+    source: str  # "cache" | "run" | "retry"
+    spec: RunSpec
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+class ParallelRunner:
+    """Execute batches of :class:`RunSpec` with pooling and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs in-process with no
+        pool overhead — the exact serial semantics every caller had
+        before this layer existed.
+    cache:
+        Optional :class:`ResultCache`; completed runs are stored and
+        matching future runs are served without simulating.
+    progress:
+        Optional callback invoked with a :class:`ProgressEvent` after
+        every completed run (from the parent process only).
+    start_method:
+        Forwarded to :func:`multiprocessing.get_context`; None uses the
+        platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
+        start_method: Optional[str] = None,
+    ):
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self.start_method = start_method
+        self.metrics = RunnerMetrics()
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[RunSpec]) -> List[Any]:
+        """Execute every spec; results in submission order."""
+        specs = list(specs)
+        total = len(specs)
+        self.metrics.submitted += total
+        results: List[Any] = [None] * total
+        done = 0
+
+        # Serve what we can from the cache.
+        pending: List[Tuple[int, RunSpec, Optional[str]]] = []
+        for index, spec in enumerate(specs):
+            key = spec.key if self.cache is not None else None
+            hit = self.cache.get(key) if key is not None else None
+            if hit is not None:
+                results[index] = hit
+                self.metrics.cache_hits += 1
+                self.metrics.completed += 1
+                done += 1
+                self._emit(index, done, total, "cache", spec)
+            else:
+                pending.append((index, spec, key))
+
+        # Execute the misses.
+        failed: List[Tuple[int, RunSpec, Optional[str], str]] = []
+
+        def complete(index: int, spec: RunSpec, key: Optional[str], result: Any, source: str) -> None:
+            nonlocal done
+            results[index] = result
+            self.metrics.executed += 1
+            self.metrics.completed += 1
+            done += 1
+            if key is not None and self.cache is not None:
+                self.cache.put(key, result)
+                self.metrics.cache_stores += 1
+            self._emit(index, done, total, source, spec)
+
+        if self.jobs > 1 and len(pending) > 1:
+            by_index = {index: (spec, key) for index, spec, key in pending}
+            context = multiprocessing.get_context(self.start_method)
+            workers = min(self.jobs, len(pending))
+            with context.Pool(processes=workers) as pool:
+                outcomes = pool.imap_unordered(
+                    _pool_worker, [(index, spec) for index, spec, _ in pending]
+                )
+                for index, ok, payload in outcomes:
+                    spec, key = by_index[index]
+                    if ok:
+                        complete(index, spec, key, payload, "run")
+                    else:
+                        self.metrics.failures += 1
+                        failed.append((index, spec, key, payload))
+        else:
+            for index, spec, key in pending:
+                try:
+                    result = execute_spec(spec)
+                except Exception:
+                    self.metrics.failures += 1
+                    failed.append((index, spec, key, traceback.format_exc()))
+                else:
+                    complete(index, spec, key, result, "run")
+
+        # Retry each failure once, serially in the parent (deterministic
+        # and debuggable: a second failure surfaces the real traceback).
+        for index, spec, key, first_traceback in failed:
+            self.metrics.retries += 1
+            try:
+                result = execute_spec(spec)
+            except Exception as retry_error:
+                raise ExecutionError(
+                    f"run {spec.kind}{dict(spec.params)!r} failed twice; "
+                    f"first failure:\n{first_traceback}"
+                ) from retry_error
+            complete(index, spec, key, result, "retry")
+
+        return results
+
+    # ------------------------------------------------------------------
+    # Typed conveniences
+    # ------------------------------------------------------------------
+    def run_characterizations(
+        self, config: Any, grid: Sequence[Mapping[str, Any]]
+    ) -> List[Any]:
+        """Batch :func:`run_characterization` over parameter dicts."""
+        return self.run([characterization_spec(config, **params) for params in grid])
+
+    def run_finite_cpuburns(
+        self, specs: Sequence[Tuple[Any, Mapping[str, Any]]]
+    ) -> List[Any]:
+        """Batch :func:`run_finite_cpuburn` over (config, params) pairs
+        (configs vary per run in the validation experiments)."""
+        return self.run(
+            [finite_cpuburn_spec(config, **params) for config, params in specs]
+        )
+
+    # ------------------------------------------------------------------
+    def _emit(self, index: int, done: int, total: int, source: str, spec: RunSpec) -> None:
+        if self.progress is not None:
+            self.progress(ProgressEvent(index=index, done=done, total=total, source=source, spec=spec))

@@ -2,13 +2,21 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.cli import (
+    EXPERIMENTS,
+    build_parser,
+    main,
+    make_runner,
+    run_experiment,
+    supports_runner,
+)
 
 
 def test_experiment_registry_covers_every_figure_and_table():
     assert {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1"} <= set(EXPERIMENTS)
     assert "validate-throughput" in EXPERIMENTS
     assert "validate-energy" in EXPERIMENTS
+    assert "smoke" in EXPERIMENTS
 
 
 def test_parser_accepts_known_experiment():
@@ -16,6 +24,24 @@ def test_parser_accepts_known_experiment():
     assert args.experiment == "fig1"
     assert args.seed == 3
     assert not args.full
+    assert args.jobs == 1
+    assert not args.no_cache
+
+
+def test_parser_accepts_batch_flags(tmp_path):
+    args = build_parser().parse_args(
+        ["fig3", "--jobs", "4", "--cache-dir", str(tmp_path), "--no-cache"]
+    )
+    assert args.jobs == 4
+    assert args.cache_dir == str(tmp_path)
+    assert args.no_cache
+
+
+def test_batch_experiments_accept_a_runner():
+    for name in ("fig3", "fig4", "table1", "validate-throughput", "validate-energy", "smoke"):
+        assert supports_runner(EXPERIMENTS[name][1]), name
+    for name in ("fig1", "fig2", "fig5", "fig6"):
+        assert not supports_runner(EXPERIMENTS[name][1]), name
 
 
 def test_parser_rejects_unknown_experiment():
@@ -36,7 +62,36 @@ def test_run_experiment_returns_rendered_text():
     assert "wall]" in text
 
 
-def test_main_runs_single_experiment(capsys):
-    assert main(["fig1"]) == 0
+def test_main_runs_single_experiment(capsys, tmp_path):
+    assert main(["fig1", "--cache-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "Figure 1" in out
+
+
+def test_smoke_experiment_uses_cache_on_second_run(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["smoke", "--cache-dir", cache_dir]) == 0
+    first = capsys.readouterr().out
+    assert "5 executed, 0 cached" in first
+
+    assert main(["smoke", "--cache-dir", cache_dir]) == 0
+    second = capsys.readouterr().out
+    assert "0 executed, 5 cached" in second
+    # Cached replay reproduces the simulated numbers exactly (compare
+    # the rendered table, not the wall-clock status line).
+    assert first.splitlines()[:7] == second.splitlines()[:7]
+
+
+def test_no_cache_flag_forces_execution(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["smoke", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["smoke", "--cache-dir", cache_dir, "--no-cache"]) == 0
+    assert "5 executed, 0 cached" in capsys.readouterr().out
+
+
+def test_make_runner_honours_flags(tmp_path):
+    runner = make_runner(jobs=3, cache_dir=str(tmp_path), use_cache=True)
+    assert runner.jobs == 3
+    assert runner.cache is not None
+    assert make_runner(use_cache=False).cache is None

@@ -96,6 +96,23 @@ def test_finite_run_rejects_bad_input():
         run_finite_cpuburn(CFG, total_cpu=0.0)
 
 
+def test_characterization_rejects_non_positive_duration():
+    """An explicit duration=0.0 is an error, not a request for the
+    config default."""
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        run_characterization(CFG, duration=0.0)
+    with pytest.raises(ConfigurationError):
+        run_characterization(CFG, duration=-5.0)
+
+
+def test_characterization_none_duration_uses_config_default():
+    cfg = CFG.scaled(characterization_duration=SHORT)
+    result = run_characterization(cfg)
+    assert result.duration == SHORT
+
+
 # ----------------------------------------------------------------------
 # Sweeps
 # ----------------------------------------------------------------------

@@ -90,6 +90,15 @@ def test_timeline_empty_window():
     assert "no events" in tracer.timeline()
 
 
+def test_timeline_shows_thread_id_zero():
+    tracer = SchedulerTracer()
+    tracer(SchedEvent(time=0.0, kind="run", core=0, tid=0))
+    tracer(SchedEvent(time=0.1, kind="run", core=0, tid=7))
+    text = tracer.timeline()
+    assert "tid0" in text  # tid 0 is a real thread, not "no thread"
+    assert "tid7" in text
+
+
 def test_event_cap():
     tracer = SchedulerTracer(max_events=2)
     for i in range(5):

@@ -1,0 +1,104 @@
+"""Tests for the on-disk result cache: round-trips, misses, corruption."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    CharacterizationResult,
+    FiniteRunResult,
+    fast_config,
+    run_characterization,
+)
+from repro.runtime import ResultCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def sample_characterization() -> CharacterizationResult:
+    return CharacterizationResult(
+        workload="cpuburn",
+        p=0.5,
+        idle_quantum=0.01,
+        duration=10.0,
+        mean_temp=40.123456789012345,
+        temp_rise=8.1,
+        idle_temp=32.0,
+        work=17.9,
+        energy=523.25,
+        details={"injected_quanta": 12.0, "injection_fraction": 0.21},
+    )
+
+
+def sample_finite() -> FiniteRunResult:
+    return FiniteRunResult(
+        p=0.25,
+        idle_quantum=0.05,
+        total_cpu=2.0,
+        runtimes=[2.0, 2.1, 2.05, 1.95],
+        energy=100.5,
+        window=2.1,
+        mean_schedules=20.0,
+    )
+
+
+def test_roundtrip_characterization_is_bit_identical(cache):
+    original = sample_characterization()
+    cache.put("a" * 64, original)
+    loaded = cache.get("a" * 64)
+    assert loaded == original  # dataclass equality covers every field
+    assert loaded.mean_temp == original.mean_temp  # float exactness
+    assert cache.stats.hits == 1
+    assert cache.stats.stores == 1
+
+
+def test_roundtrip_finite_run(cache):
+    original = sample_finite()
+    cache.put("b" * 64, original)
+    loaded = cache.get("b" * 64)
+    assert loaded == original
+    assert loaded.mean_runtime == original.mean_runtime
+
+
+def test_roundtrip_of_real_run_result(cache):
+    cfg = fast_config()
+    original = run_characterization(cfg, p=0.5, idle_quantum=0.01, duration=5.0)
+    cache.put("c" * 64, original)
+    assert cache.get("c" * 64) == original
+
+
+def test_missing_key_is_a_miss(cache):
+    assert cache.get("0" * 64) is None
+    assert cache.stats.misses == 1
+
+
+def test_corrupt_entry_is_a_miss_not_an_error(cache):
+    key = "d" * 64
+    cache.put(key, sample_characterization())
+    cache.path(key).write_text("{ truncated garbage")
+    assert cache.get(key) is None
+
+
+def test_schema_mismatch_is_a_miss(cache):
+    key = "e" * 64
+    cache.put(key, sample_characterization())
+    payload = json.loads(cache.path(key).read_text())
+    payload["schema"] = -1
+    cache.path(key).write_text(json.dumps(payload))
+    assert cache.get(key) is None
+
+
+def test_len_and_clear(cache):
+    cache.put("f" * 64, sample_characterization())
+    cache.put("a" * 64, sample_finite())
+    assert len(cache) == 2
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+def test_uncacheable_type_raises(cache):
+    with pytest.raises(TypeError):
+        cache.put("9" * 64, object())

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Check that every file under docs/ is linked from README.md.
+
+The docs tree is only useful if it is discoverable from the front
+page; CI runs this so a new docs page cannot land unlinked. Exits
+non-zero listing any unlinked files.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+
+def unlinked_docs(repo_root: Path) -> list:
+    readme = (repo_root / "README.md").read_text()
+    linked = set(re.findall(r"\]\(((?:\./)?docs/[^)#]+)\)", readme))
+    missing = []
+    for page in sorted((repo_root / "docs").rglob("*")):
+        if page.is_dir():
+            continue
+        relative = page.relative_to(repo_root).as_posix()
+        if relative not in linked and f"./{relative}" not in linked:
+            missing.append(relative)
+    return missing
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    if not (repo_root / "docs").is_dir():
+        print("no docs/ directory", file=sys.stderr)
+        return 1
+    missing = unlinked_docs(repo_root)
+    if missing:
+        for path in missing:
+            print(f"NOT LINKED from README.md: {path}", file=sys.stderr)
+        return 1
+    print("docs check: every docs/ file is linked from README.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
