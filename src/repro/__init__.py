@@ -70,6 +70,7 @@ from .runtime import (
 )
 from .sched import DimetrodonControl, Scheduler, Thread, ThreadKind
 from .sim import Simulator
+from .telemetry import MetricsRegistry, RunManifest
 from .thermal import ThermalNetwork, ThermalParams
 from .workloads import (
     CpuBurn,
@@ -103,12 +104,14 @@ __all__ = [
     "IdleInjector",
     "IdleMode",
     "Machine",
+    "MetricsRegistry",
     "NoInjectionPolicy",
     "ParallelRunner",
     "PolicyTable",
     "PowerModel",
     "PowerParams",
     "ResultCache",
+    "RunManifest",
     "RunSpec",
     "RunnerMetrics",
     "Scheduler",

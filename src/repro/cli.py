@@ -23,9 +23,12 @@ interleave all their threads on one simulated testbed.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import inspect
 import sys
 import time
+from datetime import datetime, timezone
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from .experiments import (
@@ -42,7 +45,14 @@ from .experiments import (
     validate_energy_model,
     validate_throughput_model,
 )
-from .runtime import ParallelRunner, ProgressEvent, ResultCache
+from .runtime import (
+    ParallelRunner,
+    ProgressEvent,
+    ResultCache,
+    code_fingerprint,
+    config_hash,
+)
+from .telemetry import MetricsRegistry, RunManifest, git_describe, isolated
 
 #: Where run results are cached unless ``--cache-dir`` overrides it.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -110,7 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--progress",
         action="store_true",
-        help="print one line per completed batch run",
+        help="print one line per completed batch run, with live counters",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a JSON run manifest (config hash, seed, git state, "
+        "timings, aggregated metrics) to PATH after the run",
     )
     return parser
 
@@ -120,13 +136,16 @@ def supports_runner(func: Callable) -> bool:
     return "runner" in inspect.signature(func).parameters
 
 
-def _print_progress(event: ProgressEvent) -> None:
+def _print_progress(event: ProgressEvent, runner: Optional[ParallelRunner] = None) -> None:
     params = ", ".join(f"{k}={v}" for k, v in event.spec.params.items())
-    print(
+    line = (
         f"  [{event.done}/{event.total}] {event.source:<5s} "
-        f"{event.spec.kind}({params})",
-        file=sys.stderr,
+        f"{event.spec.kind}({params})"
     )
+    if runner is not None:
+        # Live counters: cumulative over the runner's whole lifetime.
+        line += f" | {runner.metrics.summary()}"
+    print(line, file=sys.stderr)
 
 
 def make_runner(
@@ -138,11 +157,10 @@ def make_runner(
 ) -> ParallelRunner:
     """The CLI's batch runner: pool size + on-disk cache + progress."""
     cache = ResultCache(cache_dir or DEFAULT_CACHE_DIR) if use_cache else None
-    return ParallelRunner(
-        jobs=jobs,
-        cache=cache,
-        progress=_print_progress if progress else None,
-    )
+    runner = ParallelRunner(jobs=jobs, cache=cache)
+    if progress:
+        runner.progress = lambda event: _print_progress(event, runner)
+    return runner
 
 
 def run_experiment(
@@ -151,8 +169,13 @@ def run_experiment(
     seed: int = 0,
     full: bool = False,
     runner: Optional[ParallelRunner] = None,
+    timings: Optional[Dict[str, float]] = None,
 ) -> str:
-    """Run one experiment and return its rendered text."""
+    """Run one experiment and return its rendered text.
+
+    ``timings``, when given, collects the experiment's wall seconds
+    under its name (the manifest records these).
+    """
     config = full_config(seed) if full else fast_config(seed)
     _, func = EXPERIMENTS[name]
     started = time.time()
@@ -171,7 +194,35 @@ def run_experiment(
         result = func(config)
         elapsed = time.time() - started
         status = f"[{name}: {elapsed:.1f}s wall]"
+    if timings is not None:
+        timings[name] = elapsed
     return f"{result.render()}\n{status}"
+
+
+def build_manifest(
+    *,
+    names: List[str],
+    seed: int,
+    full: bool,
+    runner: ParallelRunner,
+    metrics_registry: MetricsRegistry,
+    timings: Dict[str, float],
+) -> RunManifest:
+    """Assemble the run manifest for one CLI invocation."""
+    config = full_config(seed) if full else fast_config(seed)
+    return RunManifest(
+        experiments=list(names),
+        seed=seed,
+        config_hash=config_hash(config),
+        code_fingerprint=code_fingerprint(),
+        jobs=runner.jobs,
+        git=git_describe(Path(__file__).resolve().parent),
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        timings=timings,
+        runner=dataclasses.asdict(runner.metrics),
+        cache=dataclasses.asdict(runner.cache.stats) if runner.cache else None,
+        metrics=metrics_registry.snapshot(),
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -183,15 +234,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:22s} {description}{batch}")
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    runner = make_runner(
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        progress=args.progress,
-    )
-    for name in names:
-        print(run_experiment(name, seed=args.seed, full=args.full, runner=runner))
-        print()
+    # A fresh registry per invocation: the manifest's metrics cover
+    # exactly this run, even when main() is called repeatedly in-process.
+    with isolated() as metrics_registry:
+        runner = make_runner(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            progress=args.progress,
+        )
+        timings: Dict[str, float] = {}
+        for name in names:
+            print(
+                run_experiment(
+                    name, seed=args.seed, full=args.full, runner=runner, timings=timings
+                )
+            )
+            print()
+        if args.metrics:
+            manifest = build_manifest(
+                names=names,
+                seed=args.seed,
+                full=args.full,
+                runner=runner,
+                metrics_registry=metrics_registry,
+                timings=timings,
+            )
+            path = manifest.write(args.metrics)
+            print(f"[manifest written to {path}]", file=sys.stderr)
     return 0
 
 

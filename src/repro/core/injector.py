@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..sched.thread import Thread, ThreadKind
+from ..telemetry.registry import registry as _metrics_registry
 from .policy import InjectionPolicy, PolicyTable
 
 
@@ -82,17 +83,24 @@ class IdleInjector:
         #: injected one so the core can halt fully (§3.2).
         self.co_schedule_smt = co_schedule_smt
         self.stats = InjectorStats()
+        scope = _metrics_registry().scope("core.injector")
+        self._metric_decisions = scope.counter("decisions")
+        self._metric_injections = scope.counter("injections")
+        self._metric_injected_time = scope.counter("injected_time")
 
     def decide(self, thread: Thread, now: float) -> Optional[InjectionDecision]:
         """Return an injection order, or None to dispatch normally."""
         if self.exempt_kernel_threads and thread.kind is ThreadKind.KERNEL:
             return None
         self.stats.decisions += 1
+        self._metric_decisions.inc()
         policy = self.table.lookup(thread.tid)
         if not policy.should_inject(thread.tid):
             return None
         self.stats.injections += 1
         self.stats.injected_time += policy.idle_quantum
+        self._metric_injections.inc()
+        self._metric_injected_time.inc(policy.idle_quantum)
         return InjectionDecision(
             length=policy.idle_quantum,
             mode=self.mode,

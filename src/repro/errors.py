@@ -48,6 +48,15 @@ class ExecutionError(ReproError):
     """
 
 
+class TelemetryError(ReproError):
+    """Raised when the metrics registry or a run manifest is misused.
+
+    Examples: registering the same metric name under two different
+    metric kinds, merging a malformed snapshot, or loading a manifest
+    written under an unknown schema version.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised when post-processing cannot produce a result.
 

@@ -103,6 +103,7 @@ class Machine:
             self.sim,
             lambda: self.sensors.read(self.integrator.temps),
             period=cfg.temp_sample_period,
+            num_cores=cfg.num_cores,
         )
 
         self.sim.add_advance_listener(self._advance_physics)

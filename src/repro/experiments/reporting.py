@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+from ..errors import AnalysisError
+
 
 def format_table(
     headers: Sequence[str],
@@ -16,8 +18,21 @@ def format_table(
     *,
     title: Optional[str] = None,
 ) -> str:
-    """Fixed-width text table."""
-    str_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    """Fixed-width text table.
+
+    Every row must have exactly one cell per header; a mismatched row
+    raises :class:`AnalysisError` naming it, instead of the IndexError
+    an over-wide row used to hit during width computation.
+    """
+    str_rows: List[List[str]] = []
+    for row in rows:
+        row = list(row)
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"table row has {len(row)} cells but there are "
+                f"{len(headers)} headers: {row!r}"
+            )
+        str_rows.append([_cell(value) for value in row])
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):

@@ -27,10 +27,16 @@ class TemperatureLog:
         reader: Callable[[], np.ndarray],
         *,
         period: float = 1.0,
+        num_cores: Optional[int] = None,
     ):
         if period <= 0:
             raise AnalysisError("sample period must be positive")
+        if num_cores is not None and num_cores < 1:
+            raise AnalysisError("num_cores must be positive when given")
         self.period = period
+        #: Width of the sample rows; learned from the first sample when
+        #: not passed explicitly (it shapes the empty-log array).
+        self.num_cores = num_cores
         self._sim = sim
         self._reader = reader
         self._times: List[float] = []
@@ -38,8 +44,11 @@ class TemperatureLog:
         self._task = PeriodicTask(sim, period, self._sample, phase=0.0)
 
     def _sample(self) -> None:
+        sample = np.asarray(self._reader(), dtype=float)
+        if self.num_cores is None:
+            self.num_cores = int(sample.shape[0])
         self._times.append(self._sim.now)
-        self._samples.append(np.asarray(self._reader(), dtype=float))
+        self._samples.append(sample)
 
     def stop(self) -> None:
         self._task.cancel()
@@ -51,13 +60,25 @@ class TemperatureLog:
 
     @property
     def samples(self) -> np.ndarray:
-        """Array of shape (num_samples, num_cores)."""
+        """Array of shape (num_samples, num_cores).
+
+        An empty log still has a well-defined width when ``num_cores``
+        is known, so per-core slicing fails loudly (below) rather than
+        with a bare IndexError on a ``(0, 0)`` array.
+        """
         if not self._samples:
-            return np.empty((0, 0))
+            return np.empty((0, self.num_cores or 0))
         return np.vstack(self._samples)
 
     def core_series(self, core: int) -> np.ndarray:
-        return self.samples[:, core]
+        samples = self.samples
+        if samples.shape[0] == 0:
+            raise AnalysisError("no temperature samples recorded")
+        if not 0 <= core < samples.shape[1]:
+            raise AnalysisError(
+                f"core {core} out of range (log covers {samples.shape[1]} cores)"
+            )
+        return samples[:, core]
 
     def mean_over_window(self, window: float, *, end: Optional[float] = None) -> float:
         """Mean of all cores' readings over the trailing ``window`` s."""

@@ -17,7 +17,13 @@ See ``docs/running-experiments.md`` for usage.
 """
 
 from .cache import CacheStats, ResultCache
-from .hashing import CACHE_SCHEMA_VERSION, code_fingerprint, freeze, spec_key
+from .hashing import (
+    CACHE_SCHEMA_VERSION,
+    code_fingerprint,
+    config_hash,
+    freeze,
+    spec_key,
+)
 from .parallel import (
     ParallelRunner,
     ProgressEvent,
@@ -38,6 +44,7 @@ __all__ = [
     "RunnerMetrics",
     "characterization_spec",
     "code_fingerprint",
+    "config_hash",
     "finite_cpuburn_spec",
     "freeze",
     "register_executor",

@@ -3,8 +3,15 @@
 Results are stored one JSON file per key under ``<root>/<key[:2]>/``.
 Python's ``repr``-based float serialisation round-trips exactly, so a
 result loaded from cache is bit-identical to the one that was stored.
-Corrupt or truncated files (e.g. from a killed run) are treated as
-misses, never as errors.
+
+Lookups never raise on a bad entry, but the *reason* a lookup failed is
+not flattened into one bucket: :class:`CacheStats` (and the
+``runtime.cache`` telemetry scope) distinguish a true miss (no file), a
+corrupt entry (truncated/garbled JSON or a payload that no longer
+rebuilds), and a schema-stale entry (written by an older cache layout).
+Stores are atomic (write to a ``.tmp-*`` file, then rename); a run
+killed mid-store can leave a temp file behind, which is never counted
+as an entry and is swept up by :meth:`ResultCache.clear`.
 """
 
 from __future__ import annotations
@@ -14,18 +21,33 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Iterator, Optional, Union
 
+from ..telemetry.registry import registry as _metrics_registry
 from .hashing import CACHE_SCHEMA_VERSION
 
 
 @dataclasses.dataclass
 class CacheStats:
-    """Hit/miss/store counters for one :class:`ResultCache`."""
+    """Lookup/store counters for one :class:`ResultCache`."""
 
     hits: int = 0
+    #: Lookups that found no entry at all.
     misses: int = 0
+    #: Lookups that found an unreadable or unrebuildable entry.
+    corrupt: int = 0
+    #: Lookups that found an entry written under another schema version.
+    schema_stale: int = 0
     stores: int = 0
+
+    @property
+    def total_misses(self) -> int:
+        """Every lookup that did not produce a result, whatever the cause."""
+        return self.misses + self.corrupt + self.schema_stale
+
+
+class _SchemaMismatch(ValueError):
+    """Internal: the entry was written under a different schema version."""
 
 
 def _encode(result: Any) -> dict:
@@ -55,7 +77,7 @@ def _decode(payload: dict) -> Any:
     from ..experiments.runner import CharacterizationResult, FiniteRunResult
 
     if payload.get("schema") != CACHE_SCHEMA_VERSION:
-        raise ValueError("cache schema mismatch")
+        raise _SchemaMismatch("cache schema mismatch")
     classes = {
         "characterization": CharacterizationResult,
         "finite_cpuburn": FiniteRunResult,
@@ -71,20 +93,45 @@ class ResultCache:
         # runner at a cache it never uses leaves no trace on disk.
         self.root = Path(root)
         self.stats = CacheStats()
+        scope = _metrics_registry().scope("runtime.cache")
+        self._metric_hits = scope.counter("hits")
+        self._metric_misses = scope.counter("misses")
+        self._metric_corrupt = scope.counter("corrupt")
+        self._metric_schema_stale = scope.counter("schema_stale")
+        self._metric_stores = scope.counter("stores")
 
     def path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Any]:
-        """The cached result for ``key``, or None (counted as a miss)."""
+        """The cached result for ``key``, or None.
+
+        Any failed lookup returns None; the stats/telemetry record
+        whether it was a miss, a corrupt entry, or a schema-stale one.
+        """
         try:
             with self.path(key).open() as handle:
                 payload = json.load(handle)
-            result = _decode(payload)
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
             self.stats.misses += 1
+            self._metric_misses.inc()
+            return None
+        except ValueError:
+            self.stats.corrupt += 1
+            self._metric_corrupt.inc()
+            return None
+        try:
+            result = _decode(payload)
+        except _SchemaMismatch:
+            self.stats.schema_stale += 1
+            self._metric_schema_stale.inc()
+            return None
+        except (AttributeError, KeyError, TypeError, ValueError):
+            self.stats.corrupt += 1
+            self._metric_corrupt.inc()
             return None
         self.stats.hits += 1
+        self._metric_hits.inc()
         return result
 
     def put(self, key: str, result: Any) -> None:
@@ -105,14 +152,35 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        self._metric_stores.inc()
+
+    # ------------------------------------------------------------------
+    def _files(self) -> Iterator[Path]:
+        """All ``*.json`` files under the shard dirs, temp files included.
+
+        ``pathlib``'s glob matches dotfiles (unlike the ``glob``
+        module), so ``.tmp-*.json`` stragglers from killed runs show up
+        here; callers must check :func:`_is_entry`.
+        """
+        return self.root.glob("*/*.json")
+
+    @staticmethod
+    def _is_entry(path: Path) -> bool:
+        return not path.name.startswith(".")
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        """Number of stored entries (in-flight temp files excluded)."""
+        return sum(1 for path in self._files() if self._is_entry(path))
 
     def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+        """Delete every cached entry; returns the number removed.
+
+        Temp-file stragglers (``.tmp-*.json`` left by a run killed
+        mid-store) are swept up too, but not counted as entries.
+        """
         removed = 0
-        for entry in self.root.glob("*/*.json"):
-            entry.unlink()
-            removed += 1
+        for path in self._files():
+            path.unlink()
+            if self._is_entry(path):
+                removed += 1
         return removed

@@ -108,6 +108,17 @@ def code_fingerprint() -> str:
     return _fingerprint_cache
 
 
+def config_hash(config: Any) -> str:
+    """SHA-256 over a frozen config — the manifest's config identity.
+
+    Unlike :func:`spec_key` this covers only the configuration, not the
+    code fingerprint or run parameters, so it answers "same settings?"
+    across code versions.
+    """
+    blob = json.dumps(freeze(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 def spec_key(kind: str, config: Any, params: Any) -> str:
     """The cache key for one run: hash of (schema, code, kind, inputs)."""
     document = {

@@ -13,6 +13,13 @@ embarrassingly parallel.  :class:`ParallelRunner` guarantees:
 - **Fault tolerance** — a run that dies in a worker is retried once,
   serially in the parent (deterministic); a second failure raises
   :class:`~repro.errors.ExecutionError` carrying the worker traceback.
+- **Telemetry** — every run executes against an isolated
+  :class:`~repro.telemetry.MetricsRegistry`; the per-run snapshot is
+  serialised back from the worker (or taken in-process for serial
+  runs) and merged into the registry that was current when the runner
+  was constructed.  A ``jobs=N`` sweep therefore aggregates to exactly
+  the counters a ``jobs=1`` sweep produces.  Failed attempts are
+  discarded, not merged, so retries never double-count.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError, ExecutionError
+from ..telemetry.registry import MetricsRegistry, isolated
+from ..telemetry.registry import registry as _metrics_registry
 from .cache import ResultCache
 from .hashing import spec_key
 
@@ -87,14 +96,30 @@ def execute_spec(spec: RunSpec) -> Any:
     return _resolve_executor(spec.kind)(spec.config, **spec.params)
 
 
-def _pool_worker(indexed: Tuple[int, RunSpec]) -> Tuple[int, bool, Any]:
+def _execute_instrumented(spec: RunSpec) -> Tuple[Any, Dict[str, Any]]:
+    """Run one spec against a fresh metrics registry.
+
+    Returns the result together with the registry snapshot covering
+    exactly that run (construction, simulation, instruments).  On
+    failure the partial snapshot is discarded with the exception.
+    """
+    with isolated() as run_registry:
+        with run_registry.timer("runtime.run_wall").time():
+            result = execute_spec(spec)
+        return result, run_registry.snapshot()
+
+
+def _pool_worker(
+    indexed: Tuple[int, RunSpec]
+) -> Tuple[int, bool, Any, Optional[Dict[str, Any]]]:
     """Top-level (picklable) pool target; never raises, so one bad run
     cannot poison the whole map call."""
     index, spec = indexed
     try:
-        return index, True, execute_spec(spec)
+        result, snapshot = _execute_instrumented(spec)
     except Exception:
-        return index, False, traceback.format_exc()
+        return index, False, traceback.format_exc(), None
+    return index, True, result, snapshot
 
 
 # ----------------------------------------------------------------------
@@ -170,6 +195,10 @@ class ParallelRunner:
         self.progress = progress
         self.start_method = start_method
         self.metrics = RunnerMetrics()
+        #: Per-run metric snapshots (and the runner's own counters)
+        #: aggregate into the registry current at construction time.
+        self.registry: MetricsRegistry = _metrics_registry()
+        self._metric_scope = self.registry.scope("runtime.runner")
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> List[Any]:
@@ -177,6 +206,7 @@ class ParallelRunner:
         specs = list(specs)
         total = len(specs)
         self.metrics.submitted += total
+        self._metric_scope.counter("submitted").inc(total)
         results: List[Any] = [None] * total
         done = 0
 
@@ -189,6 +219,8 @@ class ParallelRunner:
                 results[index] = hit
                 self.metrics.cache_hits += 1
                 self.metrics.completed += 1
+                self._metric_scope.counter("cache_hits").inc()
+                self._metric_scope.counter("completed").inc()
                 done += 1
                 self._emit(index, done, total, "cache", spec)
             else:
@@ -197,11 +229,22 @@ class ParallelRunner:
         # Execute the misses.
         failed: List[Tuple[int, RunSpec, Optional[str], str]] = []
 
-        def complete(index: int, spec: RunSpec, key: Optional[str], result: Any, source: str) -> None:
+        def complete(
+            index: int,
+            spec: RunSpec,
+            key: Optional[str],
+            result: Any,
+            source: str,
+            snapshot: Optional[Dict[str, Any]] = None,
+        ) -> None:
             nonlocal done
             results[index] = result
             self.metrics.executed += 1
             self.metrics.completed += 1
+            self._metric_scope.counter("executed").inc()
+            self._metric_scope.counter("completed").inc()
+            if snapshot is not None:
+                self.registry.merge(snapshot)
             done += 1
             if key is not None and self.cache is not None:
                 self.cache.put(key, result)
@@ -216,35 +259,38 @@ class ParallelRunner:
                 outcomes = pool.imap_unordered(
                     _pool_worker, [(index, spec) for index, spec, _ in pending]
                 )
-                for index, ok, payload in outcomes:
+                for index, ok, payload, snapshot in outcomes:
                     spec, key = by_index[index]
                     if ok:
-                        complete(index, spec, key, payload, "run")
+                        complete(index, spec, key, payload, "run", snapshot)
                     else:
                         self.metrics.failures += 1
+                        self._metric_scope.counter("failures").inc()
                         failed.append((index, spec, key, payload))
         else:
             for index, spec, key in pending:
                 try:
-                    result = execute_spec(spec)
+                    result, snapshot = _execute_instrumented(spec)
                 except Exception:
                     self.metrics.failures += 1
+                    self._metric_scope.counter("failures").inc()
                     failed.append((index, spec, key, traceback.format_exc()))
                 else:
-                    complete(index, spec, key, result, "run")
+                    complete(index, spec, key, result, "run", snapshot)
 
         # Retry each failure once, serially in the parent (deterministic
         # and debuggable: a second failure surfaces the real traceback).
         for index, spec, key, first_traceback in failed:
             self.metrics.retries += 1
+            self._metric_scope.counter("retries").inc()
             try:
-                result = execute_spec(spec)
+                result, snapshot = _execute_instrumented(spec)
             except Exception as retry_error:
                 raise ExecutionError(
                     f"run {spec.kind}{dict(spec.params)!r} failed twice; "
                     f"first failure:\n{first_traceback}"
                 ) from retry_error
-            complete(index, spec, key, result, "retry")
+            complete(index, spec, key, result, "retry", snapshot)
 
         return results
 

@@ -28,6 +28,7 @@ from typing import Callable, List, Optional
 from ..cpu.chip import Chip, Core
 from ..errors import SchedulerError
 from ..sim.engine import Event, Simulator
+from ..telemetry.registry import registry as _metrics_registry
 from .runqueue import MultiLevelFeedbackQueue
 from .thread import Thread, ThreadState
 
@@ -104,6 +105,10 @@ class Scheduler:
         ]
         self.threads: List[Thread] = []
         self.stats = SchedulerStats()
+        scope = _metrics_registry().scope("sched.scheduler")
+        self._metric_dispatches = scope.counter("dispatches")
+        self._metric_injected_quanta = scope.counter("injected_quanta")
+        self._metric_preemptions = scope.counter("forced_preemptions")
         #: Callbacks fired as ``callback(thread, now)`` when a thread exits.
         self.exit_listeners: List[Callable[[Thread, float], None]] = []
         #: Structured-event listeners (see repro.instruments.trace).
@@ -291,6 +296,7 @@ class Scheduler:
         thread.stats.injected_count += 1
         thread.stats.injected_time += decision.length
         self.stats.injected_quanta += 1
+        self._metric_injected_quanta.inc()
         slot.injected = True
         slot.idle = False
         self._emit("inject", slot, thread)
@@ -347,6 +353,7 @@ class Scheduler:
         thread.stats.work_done += progress
         thread.remaining_work -= progress
         self.stats.forced_preemptions += 1
+        self._metric_preemptions.inc()
         self._emit("preempt", slot, thread)
 
         if thread.terminate_requested:
@@ -391,6 +398,7 @@ class Scheduler:
             thread.stats.first_run = now
         self.stats.dispatches += 1
         self.stats.context_switches += 1
+        self._metric_dispatches.inc()
 
         slot.current = thread
         slot.idle = False

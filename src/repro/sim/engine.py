@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..telemetry.registry import registry as _metrics_registry
 
 
 @dataclass(order=True)
@@ -87,6 +88,12 @@ class Simulator:
         self._advance_listeners: List[Callable[[float, float], None]] = []
         self._running = False
         self._event_count = 0
+        # Metrics bind to the registry current at construction time, so
+        # a simulator built inside telemetry.isolated() reports there.
+        scope = _metrics_registry().scope("sim.engine")
+        self._metric_events = scope.counter("events")
+        self._metric_virtual_time = scope.counter("virtual_time")
+        self._metric_run_wall = scope.timer("run_wall")
 
     # ------------------------------------------------------------------
     # Clock
@@ -148,6 +155,7 @@ class Simulator:
             self._advance_clock(event.time)
             event.dispatched = True
             self._event_count += 1
+            self._metric_events.inc()
             event.callback(*event.args)
             return True
         return False
@@ -163,19 +171,20 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         try:
-            while True:
-                next_time = self.peek_next_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                self.step()
-            if until is not None:
-                if until < self._now:
-                    raise SimulationError(
-                        f"run(until={until}) but clock already at {self._now}"
-                    )
-                self._advance_clock(until)
+            with self._metric_run_wall.time():
+                while True:
+                    next_time = self.peek_next_time()
+                    if next_time is None:
+                        break
+                    if until is not None and next_time > until:
+                        break
+                    self.step()
+                if until is not None:
+                    if until < self._now:
+                        raise SimulationError(
+                            f"run(until={until}) but clock already at {self._now}"
+                        )
+                    self._advance_clock(until)
         finally:
             self._running = False
 
@@ -188,6 +197,7 @@ class Simulator:
         if new_time == self._now:
             return
         old = self._now
+        self._metric_virtual_time.inc(new_time - old)
         for listener in self._advance_listeners:
             listener(old, new_time)
         self._now = new_time

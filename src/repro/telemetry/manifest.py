@@ -1,0 +1,119 @@
+"""JSON run manifests: what ran, under what code, with what metrics.
+
+A manifest is the audit record the CLI writes next to a run's results
+(``--metrics <path>``): which experiments ran, the config hash and
+seed, the simulation-code fingerprint, the git state of the checkout,
+per-experiment wall timings, the batch runner's counters, and the full
+aggregated metrics-registry snapshot.  Two manifests with equal
+``config_hash``/``code_fingerprint`` describe runs whose simulated
+outputs are bit-identical, whatever ``--jobs`` was.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import TelemetryError
+
+#: Bump when the manifest payload layout changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def git_describe(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """``git describe --always --dirty`` for the checkout, or None.
+
+    Returns None (rather than raising) when git is unavailable or the
+    directory is not a repository, so manifests can always be written.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True,
+            text=True,
+            cwd=str(cwd) if cwd is not None else None,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+@dataclasses.dataclass
+class RunManifest:
+    """Everything needed to identify and audit one batch invocation."""
+
+    #: Experiment names, in execution order.
+    experiments: List[str]
+    #: The experiment RNG seed.
+    seed: int
+    #: SHA-256 over the frozen ExperimentConfig (see runtime.hashing).
+    config_hash: str
+    #: SHA-256 over the simulation-relevant source files.
+    code_fingerprint: str
+    #: Worker processes the batch ran with.
+    jobs: int = 1
+    #: ``git describe`` of the checkout, when available.
+    git: Optional[str] = None
+    #: ISO-8601 wall-clock timestamp of the invocation.
+    created: Optional[str] = None
+    #: Per-experiment wall seconds.
+    timings: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: RunnerMetrics counters (submitted/executed/cache_hits/...).
+    runner: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: CacheStats counters, or None when caching was disabled.
+    cache: Optional[Dict[str, Any]] = None
+    #: Aggregated MetricsRegistry snapshot for the whole invocation.
+    metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    schema: int = MANIFEST_SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), indent=2, sort_keys=True) + "\n"
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Atomically write the manifest as pretty-printed JSON."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".tmp-{path.name}")
+        tmp.write_text(self.to_json())
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        """Read a manifest back; raises :class:`TelemetryError` on any
+        unreadable, malformed, or wrong-schema file."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except OSError as err:
+            raise TelemetryError(f"cannot read manifest {path}: {err}") from None
+        except ValueError as err:
+            raise TelemetryError(f"manifest {path} is not valid JSON: {err}") from None
+        if not isinstance(payload, dict):
+            raise TelemetryError(f"manifest {path} is not a JSON object")
+        if payload.get("schema") != MANIFEST_SCHEMA_VERSION:
+            raise TelemetryError(
+                f"manifest {path} has schema {payload.get('schema')!r}; "
+                f"this build reads schema {MANIFEST_SCHEMA_VERSION}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise TelemetryError(f"manifest {path} has unknown fields: {unknown}")
+        missing = sorted(
+            f.name
+            for f in dataclasses.fields(cls)
+            if f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+            and f.name not in payload
+        )
+        if missing:
+            raise TelemetryError(f"manifest {path} is missing fields: {missing}")
+        return cls(**payload)

@@ -36,6 +36,7 @@ import numpy as np
 from scipy.linalg import expm
 
 from ..errors import ConfigurationError
+from ..telemetry.registry import registry as _metrics_registry
 
 #: Power callback: maps node temperatures (°C) to node power inputs (W).
 PowerFunction = Callable[[np.ndarray], np.ndarray]
@@ -173,6 +174,9 @@ class ThermalIntegrator:
             raise ConfigurationError("max_substep must be positive")
         self.network = network
         self.max_substep = float(max_substep)
+        scope = _metrics_registry().scope("thermal.rcnetwork")
+        self._metric_advances = scope.counter("advances")
+        self._metric_substeps = scope.counter("substeps")
         if initial_temps is None:
             self.temps = np.full(network.num_nodes, network.ambient_temp, dtype=float)
         else:
@@ -200,6 +204,8 @@ class ThermalIntegrator:
         # Use a uniform substep: ceil(duration / max_substep) equal pieces.
         n_steps = max(1, int(np.ceil(duration / self.max_substep - 1e-12)))
         h = duration / n_steps
+        self._metric_advances.inc()
+        self._metric_substeps.inc(n_steps)
         propagator = network.propagator(h)
         temps = self.temps
         for _ in range(n_steps):

@@ -90,6 +90,77 @@ def test_no_cache_flag_forces_execution(capsys, tmp_path):
     assert "5 executed, 0 cached" in capsys.readouterr().out
 
 
+def test_progress_lines_include_live_counters(capsys, tmp_path):
+    assert main(["smoke", "--cache-dir", str(tmp_path / "c"), "--progress"]) == 0
+    err = capsys.readouterr().err
+    assert "[5/5]" in err
+    assert "| 5 executed, 0 cached" in err
+
+
+def test_metrics_flag_writes_manifest(tmp_path):
+    from repro.runtime import code_fingerprint
+    from repro.telemetry import RunManifest
+
+    manifest_path = tmp_path / "manifest.json"
+    cache_dir = str(tmp_path / "cache")
+    assert (
+        main(["smoke", "--cache-dir", cache_dir, "--metrics", str(manifest_path)]) == 0
+    )
+    manifest = RunManifest.load(manifest_path)
+    assert manifest.experiments == ["smoke"]
+    assert manifest.seed == 0
+    assert manifest.jobs == 1
+    assert manifest.code_fingerprint == code_fingerprint()
+    assert len(manifest.config_hash) == 64
+    assert "smoke" in manifest.timings
+    runner = manifest.runner
+    assert runner["executed"] + runner["cache_hits"] == runner["submitted"] == 5
+    assert manifest.cache["stores"] == 5
+    assert manifest.metrics["sim.engine.events"]["value"] > 0
+    assert manifest.metrics["core.injector.injections"]["value"] > 0
+
+    # A cached replay's manifest accounts every run to the cache.
+    replay_path = tmp_path / "replay.json"
+    assert main(["smoke", "--cache-dir", cache_dir, "--metrics", str(replay_path)]) == 0
+    replay = RunManifest.load(replay_path)
+    assert replay.runner["executed"] == 0
+    assert replay.runner["cache_hits"] == 5
+    # Fresh registry per invocation: no carry-over between manifests.
+    assert "sim.engine.events" not in replay.metrics
+
+
+def test_manifest_metrics_identical_serial_vs_jobs2(tmp_path):
+    """The headline guarantee: a --jobs 2 sweep's aggregated pool
+    counters exactly match a serial sweep of the same config."""
+    from repro.telemetry import RunManifest
+
+    paths = []
+    for jobs, tag in (("1", "serial"), ("2", "pool")):
+        manifest_path = tmp_path / f"{tag}.json"
+        code = main(
+            [
+                "smoke",
+                "--jobs",
+                jobs,
+                "--cache-dir",
+                str(tmp_path / tag),
+                "--metrics",
+                str(manifest_path),
+            ]
+        )
+        assert code == 0
+        paths.append(manifest_path)
+    serial, pool = (RunManifest.load(p) for p in paths)
+    serial_counters = {
+        k: v["value"] for k, v in serial.metrics.items() if v["kind"] == "counter"
+    }
+    pool_counters = {
+        k: v["value"] for k, v in pool.metrics.items() if v["kind"] == "counter"
+    }
+    assert serial_counters == pool_counters
+    assert serial.runner == pool.runner
+
+
 def test_make_runner_honours_flags(tmp_path):
     runner = make_runner(jobs=3, cache_dir=str(tmp_path), use_cache=True)
     assert runner.jobs == 3

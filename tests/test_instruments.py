@@ -164,9 +164,38 @@ def test_templog_errors():
     sim = Simulator()
     with pytest.raises(AnalysisError):
         TemperatureLog(sim, lambda: np.array([1.0]), period=0.0)
+    with pytest.raises(AnalysisError):
+        TemperatureLog(sim, lambda: np.array([1.0]), period=1.0, num_cores=0)
     log = TemperatureLog(sim, lambda: np.array([1.0]), period=1.0)
     with pytest.raises(AnalysisError):
         log.mean_over_window(1.0)  # no samples yet
+
+
+def test_templog_empty_log_has_declared_width():
+    sim = Simulator()
+    log = TemperatureLog(sim, lambda: np.array([1.0, 2.0]), period=1.0, num_cores=2)
+    assert log.samples.shape == (0, 2)
+    # Without a declared width the empty array is (0, 0), as before.
+    bare = TemperatureLog(sim, lambda: np.array([1.0, 2.0]), period=1.0)
+    assert bare.samples.shape == (0, 0)
+
+
+def test_templog_empty_core_series_raises_analysis_error():
+    """core_series on an empty log used to die with a bare IndexError
+    from the (0, 0) samples array."""
+    sim = Simulator()
+    log = TemperatureLog(sim, lambda: np.array([1.0, 2.0]), period=1.0, num_cores=2)
+    with pytest.raises(AnalysisError, match="no temperature samples"):
+        log.core_series(0)
+
+
+def test_templog_core_out_of_range_raises_analysis_error():
+    sim = Simulator()
+    log = TemperatureLog(sim, lambda: np.array([1.0, 2.0]), period=1.0)
+    sim.run(until=1.0)
+    assert log.num_cores == 2  # learned from the first sample
+    with pytest.raises(AnalysisError, match="out of range"):
+        log.core_series(2)
 
 
 # ----------------------------------------------------------------------

@@ -80,6 +80,18 @@ def test_corrupt_entry_is_a_miss_not_an_error(cache):
     cache.put(key, sample_characterization())
     cache.path(key).write_text("{ truncated garbage")
     assert cache.get(key) is None
+    assert cache.stats.corrupt == 1
+    assert cache.stats.misses == 0  # distinguished from a true miss
+
+
+def test_unrebuildable_payload_counts_as_corrupt(cache):
+    key = "1" * 64
+    cache.put(key, sample_characterization())
+    payload = json.loads(cache.path(key).read_text())
+    payload["result"]["no_such_field"] = 1.0
+    cache.path(key).write_text(json.dumps(payload))
+    assert cache.get(key) is None
+    assert cache.stats.corrupt == 1
 
 
 def test_schema_mismatch_is_a_miss(cache):
@@ -89,6 +101,10 @@ def test_schema_mismatch_is_a_miss(cache):
     payload["schema"] = -1
     cache.path(key).write_text(json.dumps(payload))
     assert cache.get(key) is None
+    assert cache.stats.schema_stale == 1
+    assert cache.stats.corrupt == 0
+    assert cache.stats.misses == 0
+    assert cache.stats.total_misses == 1
 
 
 def test_len_and_clear(cache):
@@ -97,6 +113,38 @@ def test_len_and_clear(cache):
     assert len(cache) == 2
     assert cache.clear() == 2
     assert len(cache) == 0
+
+
+def test_tmp_stragglers_not_counted_and_swept_by_clear(cache):
+    """A run killed mid-store leaves a .tmp-*.json behind; it must not
+    count as an entry (pathlib's glob matches dotfiles) and clear()
+    must sweep it up without counting it."""
+    key = "f" * 64
+    cache.put(key, sample_characterization())
+    straggler = cache.path(key).parent / ".tmp-killed-run.json"
+    straggler.write_text('{"partial": ')
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert not straggler.exists()
+    assert len(cache) == 0
+
+
+def test_telemetry_counters_track_lookup_outcomes(tmp_path):
+    from repro.telemetry import isolated
+
+    with isolated() as reg:
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("a" * 64, sample_characterization())
+        cache.get("a" * 64)  # hit
+        cache.get("0" * 64)  # miss
+        cache.path("b" * 64).parent.mkdir(parents=True)
+        cache.path("b" * 64).write_text("garbage")
+        cache.get("b" * 64)  # corrupt
+    assert reg.value("runtime.cache.stores") == 1
+    assert reg.value("runtime.cache.hits") == 1
+    assert reg.value("runtime.cache.misses") == 1
+    assert reg.value("runtime.cache.corrupt") == 1
+    assert reg.value("runtime.cache.schema_stale") == 0
 
 
 def test_uncacheable_type_raises(cache):

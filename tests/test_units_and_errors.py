@@ -57,6 +57,15 @@ def test_format_table_alignment():
     assert set(lines[1]) <= {"-", " "}
 
 
+def test_format_table_rejects_mismatched_row_widths():
+    from repro.errors import AnalysisError
+
+    with pytest.raises(AnalysisError, match=r"3 cells.*2 headers.*\[1, 2, 3\]"):
+        format_table(["a", "b"], [[1, 2], [1, 2, 3]])
+    with pytest.raises(AnalysisError, match="1 cells"):
+        format_table(["a", "b"], [[1]])
+
+
 def test_format_table_title():
     text = format_table(["x"], [[1]], title="My Title")
     assert text.splitlines()[0] == "My Title"
