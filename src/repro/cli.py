@@ -10,12 +10,20 @@ Examples
     python -m repro fig4 --full --seed 7
     python -m repro smoke --jobs 2              # tiny end-to-end batch check
     python -m repro all --no-cache
+    python -m repro fig3 --jobs 4 --timeout 120 --keep-going
+    python -m repro fig3 --resume               # pick up an interrupted sweep
+    python -m repro smoke --inject-faults "crash@1,hang@3:30"  # chaos test
 
 Experiments built from independent characterization / finite runs
 (fig3, fig4, table1, the validations, smoke) execute through the
 :mod:`repro.runtime` batch layer: ``--jobs N`` runs them on a worker
 pool and results are cached on disk (default ``.repro-cache/``) so a
-repeat invocation is nearly instant.  ``--jobs``/caching have no effect
+repeat invocation is nearly instant.  Batch runs are hardened:
+``--timeout`` kills hung workers, transient failures retry with
+backoff (``--max-retries``), an interrupted sweep resumes from its
+journal (``--resume``), ``--keep-going`` degrades gracefully past
+terminal failures, and ``--inject-faults`` chaos-tests all of the
+above (see ``docs/robustness.md``).  ``--jobs``/caching have no effect
 on the single-machine experiments (fig1, fig2, fig5, fig6), which
 interleave all their threads on one simulated testbed.
 """
@@ -45,10 +53,15 @@ from .experiments import (
     validate_energy_model,
     validate_throughput_model,
 )
+from .errors import ConfigurationError
+from .experiments.reporting import format_failure_report
+from .faults import FaultPlan
 from .runtime import (
     ParallelRunner,
     ProgressEvent,
     ResultCache,
+    RetryPolicy,
+    SweepJournal,
     code_fingerprint,
     config_hash,
 )
@@ -56,6 +69,9 @@ from .telemetry import MetricsRegistry, RunManifest, git_describe, isolated
 
 #: Where run results are cached unless ``--cache-dir`` overrides it.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: The sweep journal lives inside the cache dir: resume needs both.
+JOURNAL_NAME = "journal.jsonl"
 
 #: experiment name -> (description, runner).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -128,6 +144,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON run manifest (config hash, seed, git state, "
         "timings, aggregated metrics) to PATH after the run",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock deadline; a hung worker is killed and the "
+        "run retried (default: no deadline)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retries per run after a transient failure (default: 1; "
+        "permanent errors such as bad parameters never retry)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep: replay runs recorded in the "
+        "cache dir's journal and execute only the remainder",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="collect terminally failed runs into a failure report instead "
+        "of aborting the sweep (exit code 1 if any run was abandoned)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="PLAN",
+        help="chaos-test the batch runtime: inject deterministic faults, "
+        'e.g. "crash@1,hang@3:30,poison@0" or "seed=7,crash=1,hang=1" '
+        "(see docs/robustness.md)",
+    )
     return parser
 
 
@@ -139,7 +190,7 @@ def supports_runner(func: Callable) -> bool:
 def _print_progress(event: ProgressEvent, runner: Optional[ParallelRunner] = None) -> None:
     params = ", ".join(f"{k}={v}" for k, v in event.spec.params.items())
     line = (
-        f"  [{event.done}/{event.total}] {event.source:<5s} "
+        f"  [{event.done}/{event.total}] {event.source:<6s} "
         f"{event.spec.kind}({params})"
     )
     if runner is not None:
@@ -154,10 +205,38 @@ def make_runner(
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
     use_cache: bool = True,
     progress: bool = False,
+    timeout: Optional[float] = None,
+    max_retries: int = 1,
+    resume: bool = False,
+    keep_going: bool = False,
+    inject_faults: Optional[str] = None,
 ) -> ParallelRunner:
-    """The CLI's batch runner: pool size + on-disk cache + progress."""
-    cache = ResultCache(cache_dir or DEFAULT_CACHE_DIR) if use_cache else None
-    runner = ParallelRunner(jobs=jobs, cache=cache)
+    """The CLI's batch runner: pool + cache + journal + retry policy.
+
+    With caching enabled the runner also journals completions into
+    ``<cache-dir>/journal.jsonl``; ``resume=True`` keeps (instead of
+    truncating) that journal, replaying its runs from the cache.
+    """
+    if max_retries < 0:
+        raise ConfigurationError(f"--max-retries must be >= 0, got {max_retries}")
+    if resume and not use_cache:
+        raise ConfigurationError("--resume needs the cache (drop --no-cache)")
+    cache_dir = cache_dir or DEFAULT_CACHE_DIR
+    cache = ResultCache(cache_dir) if use_cache else None
+    journal = (
+        SweepJournal(Path(cache_dir) / JOURNAL_NAME, resume=resume)
+        if use_cache
+        else None
+    )
+    runner = ParallelRunner(
+        jobs=jobs,
+        cache=cache,
+        timeout=timeout,
+        retry_policy=RetryPolicy(max_attempts=1 + max_retries),
+        journal=journal,
+        keep_going=keep_going,
+        fault_plan=FaultPlan.parse(inject_faults) if inject_faults else None,
+    )
     if progress:
         runner.progress = lambda event: _print_progress(event, runner)
     return runner
@@ -207,6 +286,7 @@ def build_manifest(
     runner: ParallelRunner,
     metrics_registry: MetricsRegistry,
     timings: Dict[str, float],
+    resumed: bool = False,
 ) -> RunManifest:
     """Assemble the run manifest for one CLI invocation."""
     config = full_config(seed) if full else fast_config(seed)
@@ -216,11 +296,13 @@ def build_manifest(
         config_hash=config_hash(config),
         code_fingerprint=code_fingerprint(),
         jobs=runner.jobs,
+        resumed=resumed,
         git=git_describe(Path(__file__).resolve().parent),
         created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
         timings=timings,
         runner=dataclasses.asdict(runner.metrics),
         cache=dataclasses.asdict(runner.cache.stats) if runner.cache else None,
+        failures=runner.failure_report.to_dict() if runner.failure_report else None,
         metrics=metrics_registry.snapshot(),
     )
 
@@ -237,32 +319,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     # A fresh registry per invocation: the manifest's metrics cover
     # exactly this run, even when main() is called repeatedly in-process.
     with isolated() as metrics_registry:
-        runner = make_runner(
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            use_cache=not args.no_cache,
-            progress=args.progress,
-        )
+        try:
+            runner = make_runner(
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                progress=args.progress,
+                timeout=args.timeout,
+                max_retries=args.max_retries,
+                resume=args.resume,
+                keep_going=args.keep_going,
+                inject_faults=args.inject_faults,
+            )
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         timings: Dict[str, float] = {}
-        for name in names:
-            print(
-                run_experiment(
-                    name, seed=args.seed, full=args.full, runner=runner, timings=timings
+        try:
+            for name in names:
+                print(
+                    run_experiment(
+                        name, seed=args.seed, full=args.full, runner=runner, timings=timings
+                    )
                 )
-            )
-            print()
-        if args.metrics:
-            manifest = build_manifest(
-                names=names,
-                seed=args.seed,
-                full=args.full,
-                runner=runner,
-                metrics_registry=metrics_registry,
-                timings=timings,
-            )
-            path = manifest.write(args.metrics)
-            print(f"[manifest written to {path}]", file=sys.stderr)
-    return 0
+                print()
+            if runner.failure_report:
+                print(format_failure_report(runner.failure_report))
+                print()
+            if args.metrics:
+                manifest = build_manifest(
+                    names=names,
+                    seed=args.seed,
+                    full=args.full,
+                    runner=runner,
+                    metrics_registry=metrics_registry,
+                    timings=timings,
+                    resumed=args.resume,
+                )
+                path = manifest.write(args.metrics)
+                print(f"[manifest written to {path}]", file=sys.stderr)
+        finally:
+            # The journal must be durable even on SIGINT/failure: that is
+            # what a later --resume replays.
+            if runner.journal is not None:
+                runner.journal.close()
+    return 1 if runner.failure_report.fatal else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

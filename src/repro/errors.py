@@ -41,10 +41,31 @@ class WorkloadError(ReproError):
 
 
 class ExecutionError(ReproError):
-    """Raised when a batch run fails even after its retry.
+    """Raised when a batch run fails terminally.
 
-    Carries the first worker failure's traceback so pool failures are
-    debuggable from the parent process.
+    Either the run's :class:`~repro.runtime.RetryPolicy` classified its
+    error as permanent (deterministic — retrying cannot help) or every
+    allowed attempt was exhausted.  Carries the failing attempt's
+    traceback so pool failures are debuggable from the parent process.
+    """
+
+
+class RunTimeoutError(ExecutionError):
+    """Raised when one batch run exceeds its wall-clock deadline.
+
+    In a worker pool the parent kills the hung worker process and
+    raises (or retries) on its behalf; in-process runs are interrupted
+    via ``SIGALRM`` where the platform allows it.
+    """
+
+
+class CorruptResultError(ExecutionError):
+    """Raised when a run's payload fails its integrity check.
+
+    Every executed result travels with a digest taken at the moment it
+    was produced; a mismatch on arrival means the payload was mangled
+    in transit (or by an injected ``corrupt`` fault) and the run must
+    be treated as failed, never cached.
     """
 
 

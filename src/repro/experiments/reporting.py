@@ -74,3 +74,32 @@ def format_series(
 
 def percent(value: float) -> str:
     return f"{100.0 * value:.1f}%"
+
+
+def format_failure_report(report) -> str:
+    """Render a :class:`~repro.runtime.FailureReport` as a table.
+
+    One row per failed attempt — recovered retries and terminal
+    abandonments alike — so a chaos run's output names exactly the
+    faults that fired and what became of each.
+    """
+    if not report:
+        return "failure report: no failed attempts"
+    rows = [
+        [
+            f.index,
+            f.kind,
+            f.error_type,
+            f.classification,
+            f.attempt,
+            "recovered" if f.recovered else "ABANDONED",
+        ]
+        for f in report.failures
+    ]
+    title = (
+        f"Failure report: {len(report.failures)} failed attempt(s), "
+        f"{len(report.fatal)} run(s) abandoned"
+    )
+    return format_table(
+        ["run", "kind", "error", "class", "attempt", "outcome"], rows, title=title
+    )

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core.pareto import TradeoffPoint
+from ..errors import ExecutionError
 from ..cpu.dvfs import OperatingPoint
 from ..cpu.tcc import TccSetting, setpoints
 from ..instruments.stats import relative_reduction, throughput_reduction
@@ -44,6 +45,8 @@ class SweepResult:
     points: List[TradeoffPoint] = field(default_factory=list)
     #: Raw per-configuration results, keyed like the point params.
     runs: List[CharacterizationResult] = field(default_factory=list)
+    #: Params of grid runs abandoned under keep-going (no result).
+    missing: List[Dict[str, float]] = field(default_factory=list)
 
     def tradeoff(self, run: CharacterizationResult, params: Dict[str, float]) -> TradeoffPoint:
         """Convert a run into the paper's (r, T) coordinates."""
@@ -72,12 +75,25 @@ def _run_sweep(
     ``specs[0]`` is the baseline; ``specs[1:]`` pair with ``param_grid``.
     The batch keeps submission order, so results land exactly where the
     old serial loop put them.
+
+    A keep-going runner may hand back ``None`` for abandoned runs:
+    grid holes are recorded in :attr:`SweepResult.missing` and the
+    sweep degrades gracefully, but a missing *baseline* is fatal —
+    every trade-off point is relative to it.
     """
     runner = runner if runner is not None else ParallelRunner()
     results = runner.run(specs)
+    if results[0] is None:
+        raise ExecutionError(
+            f"the {technique}/{workload} baseline run failed; a sweep "
+            "cannot degrade past its baseline (see the failure report)"
+        )
     sweep = SweepResult(technique=technique, workload=workload, baseline=results[0])
     for run, params in zip(results[1:], param_grid):
-        sweep.add(run, params)
+        if run is None:
+            sweep.missing.append(params)
+        else:
+            sweep.add(run, params)
     return sweep
 
 

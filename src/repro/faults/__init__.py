@@ -1,0 +1,45 @@
+"""Deterministic, seedable fault injection for the batch runtime.
+
+This package exists to *prove* the hardening in :mod:`repro.runtime`
+works rather than hope it does: a :class:`FaultPlan` makes chosen runs
+crash, hang past their deadline, return corrupt payloads, or have
+their cache entries poisoned — all deterministically, so the fault
+matrix tests and the CI chaos job assert exact recovery behaviour.
+
+Faults travel to worker processes inside
+:class:`~repro.runtime.RunSpec` (a field excluded from the cache key,
+so arming a fault never changes what a run *is*), which is why the
+injection composes with ``--jobs N``, ``--resume``, and caching.
+
+See ``docs/robustness.md`` for the fault model.
+"""
+
+from .plan import (
+    CORRUPT,
+    CORRUPT_PAYLOAD,
+    CRASH,
+    FAULT_KINDS,
+    HANG,
+    POISON,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    fire_execution_fault,
+    garble_result,
+    poison_cache_entry,
+)
+
+__all__ = [
+    "CORRUPT",
+    "CORRUPT_PAYLOAD",
+    "CRASH",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "HANG",
+    "InjectedFaultError",
+    "POISON",
+    "fire_execution_fault",
+    "garble_result",
+    "poison_cache_entry",
+]

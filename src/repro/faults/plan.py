@@ -1,0 +1,317 @@
+"""Deterministic fault plans: which run fails, how, and on which attempt.
+
+A :class:`FaultPlan` is a picklable description of the faults to
+inject into one batch of runs.  Faults target runs by their
+*submission index* (stable across ``--jobs N`` and across a
+``--resume`` replay, because batches always submit the same specs in
+the same order) and fire on chosen *attempt numbers* (by default only
+the first, so a hardened runtime recovers on retry).
+
+Four fault kinds cover the failure modes the batch runtime hardens
+against:
+
+``crash``
+    The run raises :class:`InjectedFaultError` before simulating.
+``hang``
+    The run sleeps past any reasonable deadline; only a per-run
+    timeout (which kills the worker) or a signal gets it back.
+``corrupt``
+    The run completes but its payload is garbled *after* its integrity
+    digest was taken, so the parent detects the mismatch.
+``poison``
+    The run itself is untouched, but its cache entry is overwritten
+    with garbage after the store — a later lookup must quarantine the
+    entry and re-execute rather than serve trash.
+
+Plans are built three ways: explicitly (:meth:`FaultPlan.parse`, the
+CLI's ``--inject-faults "crash@1,hang@3:30,poison@0"`` syntax),
+seeded (:meth:`FaultPlan.seeded` / ``--inject-faults
+"seed=7,crash=1,hang=1"``; target indices are drawn with a
+``sha256``-based PRF so the same seed always hits the same runs), or
+programmatically from :class:`FaultSpec` tuples in tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+#: The recognised fault kinds.
+CRASH = "crash"
+HANG = "hang"
+CORRUPT = "corrupt"
+POISON = "poison"
+FAULT_KINDS = (CRASH, HANG, CORRUPT, POISON)
+
+#: Kinds that fire while the run executes (vs. at the cache layer).
+EXECUTION_KINDS = (CRASH, HANG, CORRUPT)
+
+#: What a garbled payload looks like after a ``corrupt`` fault.
+CORRUPT_PAYLOAD = "\x00corrupt-payload\x00"
+
+#: Bytes written over a cache entry by a ``poison`` fault.
+POISON_BYTES = b"{ poisoned cache entry"
+
+
+class InjectedFaultError(RuntimeError):
+    """The crash deliberately raised by a ``crash`` fault.
+
+    Derives from :class:`RuntimeError` (not :class:`~repro.errors.ReproError`)
+    so the retry policy classifies it as *transient*, exactly like the
+    real-world worker crashes it stands in for.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a kind, a target run, and the attempts it fires on."""
+
+    kind: str
+    run_index: int
+    #: Attempt numbers (1-based) on which the fault fires; execution
+    #: faults default to the first attempt only, so a retry recovers.
+    attempts: Tuple[int, ...] = (1,)
+    #: How long a ``hang`` sleeps (seconds of wall clock).
+    hang_seconds: float = 60.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.run_index < 0:
+            raise ConfigurationError(f"fault run_index must be >= 0, got {self.run_index}")
+        if not self.attempts or any(a < 1 for a in self.attempts):
+            raise ConfigurationError(f"fault attempts must be 1-based, got {self.attempts}")
+        if self.hang_seconds <= 0:
+            raise ConfigurationError(f"hang_seconds must be > 0, got {self.hang_seconds}")
+
+    def fires_on(self, attempt: int) -> bool:
+        return attempt in self.attempts
+
+    def describe(self) -> str:
+        text = f"{self.kind}@{self.run_index}"
+        if self.kind == HANG:
+            text += f":{self.hang_seconds:g}"
+        return text
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every fault to inject into one batch, resolvable per batch size.
+
+    An *explicit* plan carries concrete :class:`FaultSpec` entries.  A
+    *seeded* plan carries counts plus a seed and picks its target
+    indices only once the batch size is known (:meth:`resolve`).
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: Optional[int] = None
+    crashes: int = 0
+    hangs: int = 0
+    corrupts: int = 0
+    poisons: int = 0
+    hang_seconds: float = 60.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from the CLI's ``--inject-faults`` string.
+
+        Two forms::
+
+            crash@1,hang@3:30,corrupt@2,poison@0   # explicit targets
+            seed=7,crash=1,hang=2,hang_seconds=30  # seeded counts
+        """
+        text = text.strip()
+        if not text:
+            raise ConfigurationError("empty fault plan")
+        if "=" in text.split(",", 1)[0]:
+            return cls._parse_seeded(text)
+        faults = []
+        for item in text.split(","):
+            item = item.strip()
+            if "@" not in item:
+                raise ConfigurationError(
+                    f"bad fault {item!r}; expected kind@index (e.g. crash@2)"
+                )
+            kind, _, target = item.partition("@")
+            seconds = None
+            if ":" in target:
+                target, _, arg = target.partition(":")
+                try:
+                    seconds = float(arg)
+                except ValueError:
+                    raise ConfigurationError(f"bad hang duration in {item!r}") from None
+            try:
+                index = int(target)
+            except ValueError:
+                raise ConfigurationError(f"bad run index in {item!r}") from None
+            spec = FaultSpec(kind=kind.strip(), run_index=index)
+            if seconds is not None:
+                if spec.kind != HANG:
+                    raise ConfigurationError(
+                        f"{item!r}: only hang faults take a :seconds argument"
+                    )
+                spec = replace(spec, hang_seconds=seconds)
+            faults.append(spec)
+        return cls(faults=tuple(faults))
+
+    @classmethod
+    def _parse_seeded(cls, text: str) -> "FaultPlan":
+        counts: Dict[str, float] = {}
+        for item in text.split(","):
+            name, eq, value = item.strip().partition("=")
+            if not eq:
+                raise ConfigurationError(f"bad seeded fault field {item!r}")
+            try:
+                counts[name.strip()] = float(value)
+            except ValueError:
+                raise ConfigurationError(f"bad number in fault field {item!r}") from None
+        known = {"seed", "crash", "hang", "corrupt", "poison", "hang_seconds"}
+        unknown = sorted(set(counts) - known)
+        if unknown:
+            raise ConfigurationError(f"unknown fault plan fields: {unknown}")
+        if "seed" not in counts:
+            raise ConfigurationError("seeded fault plan needs seed=<int>")
+        return cls(
+            seed=int(counts["seed"]),
+            crashes=int(counts.get("crash", 0)),
+            hangs=int(counts.get("hang", 0)),
+            corrupts=int(counts.get("corrupt", 0)),
+            poisons=int(counts.get("poison", 0)),
+            hang_seconds=counts.get("hang_seconds", 60.0),
+        )
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        crashes: int = 0,
+        hangs: int = 0,
+        corrupts: int = 0,
+        poisons: int = 0,
+        hang_seconds: float = 60.0,
+    ) -> "FaultPlan":
+        return cls(
+            seed=seed,
+            crashes=crashes,
+            hangs=hangs,
+            corrupts=corrupts,
+            poisons=poisons,
+            hang_seconds=hang_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def resolve(self, total_runs: int) -> "FaultPlan":
+        """A concrete plan for a batch of ``total_runs`` runs.
+
+        Explicit plans validate their indices; seeded plans draw
+        distinct target indices with a deterministic ``sha256`` PRF, so
+        the same (seed, batch size) always faults the same runs.
+        """
+        if self.seed is None:
+            for fault in self.faults:
+                if fault.run_index >= total_runs:
+                    raise ConfigurationError(
+                        f"fault {fault.describe()} targets run {fault.run_index} "
+                        f"but the batch has only {total_runs} runs"
+                    )
+            return self
+        wanted = self.crashes + self.hangs + self.corrupts + self.poisons
+        if wanted > total_runs:
+            raise ConfigurationError(
+                f"fault plan wants {wanted} distinct target runs "
+                f"but the batch has only {total_runs}"
+            )
+        available = list(range(total_runs))
+        faults = []
+        slot = 0
+        for kind, count in (
+            (CRASH, self.crashes),
+            (HANG, self.hangs),
+            (CORRUPT, self.corrupts),
+            (POISON, self.poisons),
+        ):
+            for _ in range(count):
+                digest = hashlib.sha256(
+                    f"{self.seed}:{slot}:{total_runs}".encode()
+                ).digest()
+                index = available.pop(int.from_bytes(digest[:8], "big") % len(available))
+                faults.append(
+                    FaultSpec(kind=kind, run_index=index, hang_seconds=self.hang_seconds)
+                )
+                slot += 1
+        return FaultPlan(faults=tuple(faults))
+
+    # ------------------------------------------------------------------
+    def fault_for(self, run_index: int, attempt: int) -> Optional[FaultSpec]:
+        """The execution fault (crash/hang/corrupt) armed for one attempt."""
+        for fault in self.faults:
+            if (
+                fault.kind in EXECUTION_KINDS
+                and fault.run_index == run_index
+                and fault.fires_on(attempt)
+            ):
+                return fault
+        return None
+
+    @property
+    def poison_targets(self) -> FrozenSet[int]:
+        """Run indices whose cache entry gets poisoned after the store."""
+        return frozenset(f.run_index for f in self.faults if f.kind == POISON)
+
+    def describe(self) -> str:
+        if self.seed is not None:
+            return (
+                f"seed={self.seed},crash={self.crashes},hang={self.hangs},"
+                f"corrupt={self.corrupts},poison={self.poisons}"
+            )
+        return ",".join(fault.describe() for fault in self.faults) or "(no faults)"
+
+
+# ----------------------------------------------------------------------
+# Fault actions (called from the batch runtime)
+# ----------------------------------------------------------------------
+def fire_execution_fault(fault: FaultSpec) -> None:
+    """Apply a pre-run fault: crash now, or hang until killed.
+
+    ``corrupt`` faults act on the *result* (see :func:`garble_result`)
+    and are a no-op here.
+    """
+    if fault.kind == CRASH:
+        raise InjectedFaultError(
+            f"injected crash (run {fault.run_index}, attempts {fault.attempts})"
+        )
+    if fault.kind == HANG:
+        # Sleep in slices so signals (SIGALRM deadline, SIGTERM from a
+        # parent killing the worker, SIGINT) interrupt promptly.
+        deadline = time.monotonic() + fault.hang_seconds
+        while time.monotonic() < deadline:
+            time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+
+
+def garble_result(fault: FaultSpec, result: object) -> object:
+    """The payload a ``corrupt`` fault delivers instead of ``result``."""
+    if fault.kind != CORRUPT:
+        return result
+    return CORRUPT_PAYLOAD
+
+
+def poison_cache_entry(cache, key: str) -> bool:
+    """Overwrite ``key``'s stored entry with garbage bytes.
+
+    Returns True when an entry existed and was poisoned.  The next
+    ``get()`` must detect the corruption, quarantine the file, and
+    report a miss so the run is re-executed.
+    """
+    path = cache.path(key)
+    if not path.exists():
+        return False
+    path.write_bytes(POISON_BYTES)
+    return True

@@ -9,9 +9,17 @@ not flattened into one bucket: :class:`CacheStats` (and the
 ``runtime.cache`` telemetry scope) distinguish a true miss (no file), a
 corrupt entry (truncated/garbled JSON or a payload that no longer
 rebuilds), and a schema-stale entry (written by an older cache layout).
-Stores are atomic (write to a ``.tmp-*`` file, then rename); a run
-killed mid-store can leave a temp file behind, which is never counted
-as an entry and is swept up by :meth:`ResultCache.clear`.
+
+Stores are crash-safe: the payload is written to a ``.tmp-*`` file,
+fsync'd, and only then renamed over the target — a crash at any point
+leaves either the complete old state or the complete new entry, never
+a zero-byte or truncated file posing as a result.  A corrupt entry
+found by :meth:`ResultCache.get` is *quarantined* (renamed to
+``*.corrupt`` for post-mortems) rather than left in place, so the next
+lookup is an honest miss instead of re-parsing the same garbage.  A
+run killed mid-store can leave a temp file behind, which is never
+counted as an entry and is swept up (with quarantined files) by
+:meth:`ResultCache.clear`.
 """
 
 from __future__ import annotations
@@ -38,6 +46,8 @@ class CacheStats:
     corrupt: int = 0
     #: Lookups that found an entry written under another schema version.
     schema_stale: int = 0
+    #: Corrupt entries renamed to ``*.corrupt`` instead of re-missed.
+    quarantined: int = 0
     stores: int = 0
 
     @property
@@ -98,6 +108,7 @@ class ResultCache:
         self._metric_misses = scope.counter("misses")
         self._metric_corrupt = scope.counter("corrupt")
         self._metric_schema_stale = scope.counter("schema_stale")
+        self._metric_quarantined = scope.counter("quarantined")
         self._metric_stores = scope.counter("stores")
 
     def path(self, key: str) -> Path:
@@ -117,9 +128,7 @@ class ResultCache:
             self._metric_misses.inc()
             return None
         except ValueError:
-            self.stats.corrupt += 1
-            self._metric_corrupt.inc()
-            return None
+            return self._quarantine(key)
         try:
             result = _decode(payload)
         except _SchemaMismatch:
@@ -127,15 +136,34 @@ class ResultCache:
             self._metric_schema_stale.inc()
             return None
         except (AttributeError, KeyError, TypeError, ValueError):
-            self.stats.corrupt += 1
-            self._metric_corrupt.inc()
-            return None
+            return self._quarantine(key)
         self.stats.hits += 1
         self._metric_hits.inc()
         return result
 
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry aside (``<key>.json.corrupt``).
+
+        The garbage stays on disk for post-mortems but no longer
+        shadows the key: the next lookup is a plain miss and the run
+        re-executes.  Returns None (the lookup result).
+        """
+        self.stats.corrupt += 1
+        self._metric_corrupt.inc()
+        path = self.path(key)
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - raced with another process
+            return None
+        self.stats.quarantined += 1
+        self._metric_quarantined.inc()
+        return None
+
     def put(self, key: str, result: Any) -> None:
-        """Store ``result`` under ``key`` (atomic: write + rename)."""
+        """Store ``result`` under ``key`` (crash-safe: write, fsync,
+        rename).  Without the fsync a crash after the rename could
+        still leave a zero-byte or truncated entry — the data may sit
+        in page cache while the rename is already durable."""
         target = self.path(key)
         target.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -144,6 +172,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(_encode(result), handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, target)
         except BaseException:
             try:
@@ -156,17 +186,19 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def _files(self) -> Iterator[Path]:
-        """All ``*.json`` files under the shard dirs, temp files included.
+        """All entry, temp, and quarantine files under the shard dirs.
 
         ``pathlib``'s glob matches dotfiles (unlike the ``glob``
         module), so ``.tmp-*.json`` stragglers from killed runs show up
-        here; callers must check :func:`_is_entry`.
+        here; ``*.json.corrupt`` quarantines do too.  Callers must
+        check :func:`_is_entry`.
         """
-        return self.root.glob("*/*.json")
+        yield from self.root.glob("*/*.json")
+        yield from self.root.glob("*/*.json.corrupt")
 
     @staticmethod
     def _is_entry(path: Path) -> bool:
-        return not path.name.startswith(".")
+        return not path.name.startswith(".") and path.name.endswith(".json")
 
     def __len__(self) -> int:
         """Number of stored entries (in-flight temp files excluded)."""
@@ -176,7 +208,8 @@ class ResultCache:
         """Delete every cached entry; returns the number removed.
 
         Temp-file stragglers (``.tmp-*.json`` left by a run killed
-        mid-store) are swept up too, but not counted as entries.
+        mid-store) and ``*.json.corrupt`` quarantines are swept up
+        too, but not counted as entries.
         """
         removed = 0
         for path in self._files():

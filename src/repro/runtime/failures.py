@@ -1,0 +1,129 @@
+"""Structured failure records for graceful-degradation sweeps.
+
+Under ``--keep-going`` a terminal run failure no longer aborts the
+sweep; it lands here instead.  The report also keeps *recovered*
+attempt failures (a crash retried successfully, a hang killed at its
+deadline and re-run), so a chaos run can assert that exactly the
+injected faults — and nothing else — were observed.
+
+The report is plain data: :meth:`FailureReport.to_dict` goes straight
+into the :class:`~repro.telemetry.RunManifest`, and
+:func:`repro.experiments.reporting.format_failure_report` renders it
+for humans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping, Optional
+
+
+@dataclasses.dataclass
+class RunFailure:
+    """One failed attempt of one run."""
+
+    #: Submission index of the run within its batch.
+    index: int
+    #: RunSpec kind ("characterization", ...).
+    kind: str
+    #: The run's parameters (stringified for the manifest).
+    params: Dict[str, Any]
+    #: The run's cache key, when one was computed.
+    key: Optional[str]
+    #: Exception type name ("ConfigurationError", "RunTimeoutError", ...).
+    error_type: str
+    #: str(exception).
+    message: str
+    #: RetryPolicy verdict: "transient" | "permanent" | "timeout".
+    classification: str
+    #: 1-based attempt number that failed.
+    attempt: int
+    #: Whether a later attempt of the same run succeeded.
+    recovered: bool = False
+    #: Formatted traceback of the failing attempt, when available.
+    traceback: Optional[str] = None
+
+    def describe(self) -> str:
+        fate = "recovered" if self.recovered else "FAILED"
+        return (
+            f"run {self.index} ({self.kind}) attempt {self.attempt}: "
+            f"{self.error_type} [{self.classification}] — {fate}"
+        )
+
+
+@dataclasses.dataclass
+class FailureReport:
+    """Every failed attempt a runner observed, recovered or not."""
+
+    failures: List[RunFailure] = dataclasses.field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.failures)
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        *,
+        index: int,
+        kind: str,
+        params: Mapping[str, Any],
+        key: Optional[str],
+        error_type: str,
+        message: str,
+        classification: str,
+        attempt: int,
+        traceback: Optional[str] = None,
+    ) -> RunFailure:
+        failure = RunFailure(
+            index=index,
+            kind=kind,
+            params={str(k): repr(v) for k, v in dict(params).items()},
+            key=key,
+            error_type=error_type,
+            message=message,
+            classification=classification,
+            attempt=attempt,
+            traceback=traceback,
+        )
+        self.failures.append(failure)
+        return failure
+
+    def mark_recovered(self, index: int) -> None:
+        """Flag every recorded attempt of run ``index`` as recovered."""
+        for failure in self.failures:
+            if failure.index == index:
+                failure.recovered = True
+
+    # ------------------------------------------------------------------
+    @property
+    def fatal(self) -> List[RunFailure]:
+        """Failures whose run never completed."""
+        return [f for f in self.failures if not f.recovered]
+
+    @property
+    def recovered(self) -> List[RunFailure]:
+        """Attempt failures whose run later succeeded."""
+        return [f for f in self.failures if f.recovered]
+
+    @property
+    def fatal_indices(self) -> List[int]:
+        return sorted({f.index for f in self.fatal})
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The manifest payload (tracebacks trimmed to their last line)."""
+        def compact(failure: RunFailure) -> Dict[str, Any]:
+            entry = dataclasses.asdict(failure)
+            if entry["traceback"]:
+                entry["traceback"] = entry["traceback"].strip().splitlines()[-1]
+            return entry
+
+        return {
+            "attempts_failed": len(self.failures),
+            "fatal": len(self.fatal),
+            "recovered": len(self.recovered),
+            "failures": [compact(f) for f in self.failures],
+        }

@@ -1,0 +1,139 @@
+"""Crash-safe sweep journal: an append-only JSONL record of run completions.
+
+The on-disk :class:`~repro.runtime.cache.ResultCache` is global and
+content-addressed; the journal is the *sweep-scoped* complement — a
+durable record of which run keys of the current sweep finished (and
+which failed terminally), written as one fsync'd JSON line per event.
+Together they give ``--resume`` semantics: after a crash or SIGINT
+mid-sweep, a resumed invocation replays every journaled run from the
+cache and executes only the remainder.
+
+Durability model:
+
+- Each record is a single ``write()`` of one ``\\n``-terminated JSON
+  line, followed by ``flush()`` + ``os.fsync()`` — an append either
+  lands completely or (on a crash between write and fsync) may be
+  truncated, never interleaved.
+- The loader tolerates a truncated final line (the one crash artefact
+  the append protocol admits) by skipping unparseable lines; a
+  half-written record simply means that run re-executes on resume.
+- A fresh (non-resume) sweep truncates any stale journal first, so
+  records never leak between unrelated sweeps.
+
+Record shapes::
+
+    {"status": "done", "key": <sha256>, "source": "run"|"retry"|"cache"|"replay"}
+    {"status": "failed", "key": <sha256>, "error_type": ..., "message": ...}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Union
+
+
+class SweepJournal:
+    """Append-only JSONL journal of one sweep's completed run keys."""
+
+    def __init__(self, path: Union[str, Path], *, resume: bool = False):
+        self.path = Path(path)
+        self.resume = resume
+        self._handle = None
+        self._completed: Set[str] = set()
+        if resume:
+            for entry in self.read_entries(self.path):
+                if entry.get("status") == "done" and "key" in entry:
+                    self._completed.add(entry["key"])
+        elif self.path.exists():
+            self.path.unlink()
+        #: Keys already journaled as done when this journal was opened —
+        #: the set a resumed runner replays rather than re-executes.
+        self.replayable: FrozenSet[str] = frozenset(self._completed)
+
+    # ------------------------------------------------------------------
+    @property
+    def completed_keys(self) -> FrozenSet[str]:
+        """Every key journaled as done so far (pre-existing + this run)."""
+        return frozenset(self._completed)
+
+    def record_done(self, key: str, source: str) -> None:
+        """Journal one completed run (idempotent per key)."""
+        if key in self._completed:
+            return
+        self._append({"status": "done", "key": key, "source": source})
+        self._completed.add(key)
+
+    def record_failure(self, key: Optional[str], error_type: str, message: str) -> None:
+        """Journal one terminal (unrecovered) run failure."""
+        self._append(
+            {
+                "status": "failed",
+                "key": key,
+                "error_type": error_type,
+                "message": message,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.flush()
+
+    def flush(self) -> None:
+        if self._handle is None:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def read_entries(path: Union[str, Path]) -> List[Dict[str, Any]]:
+        """Every parseable record in ``path`` (missing file: none).
+
+        Unparseable lines — in practice only a final line truncated by
+        a crash between ``write`` and ``fsync`` — are skipped, not
+        fatal: losing the tail record only costs re-executing that run.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        entries: List[Dict[str, Any]] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict):
+                entries.append(entry)
+        return entries
+
+    @staticmethod
+    def completed_in(path: Union[str, Path]) -> FrozenSet[str]:
+        """The done-run keys recorded in ``path`` (for tooling/tests)."""
+        return frozenset(
+            entry["key"]
+            for entry in SweepJournal.read_entries(path)
+            if entry.get("status") == "done" and "key" in entry
+        )

@@ -1,4 +1,4 @@
-"""Parallel fan-out of independent experiment runs.
+"""Parallel fan-out of independent experiment runs, hardened.
 
 Every run in a batch builds its own :class:`~repro.experiments.machine.Machine`
 from its own config, so runs share no state and the fan-out is
@@ -10,30 +10,72 @@ embarrassingly parallel.  :class:`ParallelRunner` guarantees:
   to ``jobs=1``.
 - **Caching** — with a :class:`~repro.runtime.cache.ResultCache`
   attached, completed runs are persisted and later batches skip them.
-- **Fault tolerance** — a run that dies in a worker is retried once,
-  serially in the parent (deterministic); a second failure raises
-  :class:`~repro.errors.ExecutionError` carrying the worker traceback.
+- **Deadlines** — with ``timeout=T`` every run gets ``T`` seconds of
+  wall clock: a hung worker process is killed by the parent (in-process
+  runs are interrupted via ``SIGALRM``) and the run surfaces a
+  :class:`~repro.errors.RunTimeoutError`, which the retry policy treats
+  as transient.
+- **Retries** — a :class:`~repro.runtime.policy.RetryPolicy` governs
+  fault tolerance: transient failures (worker crashes, timeouts,
+  corrupt payloads) are retried with exponential backoff and
+  deterministic jitter, while permanent errors (a
+  :class:`~repro.errors.ConfigurationError` from a bad parameter, a
+  ``TypeError`` from a bad spec) fail fast with the original traceback
+  instead of wasting a pointless second simulation.
+- **Graceful degradation** — with ``keep_going=True`` a terminally
+  failed run no longer aborts the batch; it is recorded in the
+  runner's :class:`~repro.runtime.failures.FailureReport`, its result
+  slot stays ``None``, and every other run completes.
+- **Resumability** — with a :class:`~repro.runtime.journal.SweepJournal`
+  attached every completion is journaled (fsync'd, append-only), so an
+  interrupted sweep resumed against the same journal and cache replays
+  the finished runs and executes only the remainder.  A
+  ``KeyboardInterrupt`` mid-batch terminates the workers cleanly,
+  flushes the journal, and re-raises.
+- **Integrity** — every executed result carries a digest taken at the
+  moment it was produced; the parent re-derives it on arrival and a
+  mismatch (a mangled pipe, an injected ``corrupt`` fault) is a
+  transient :class:`~repro.errors.CorruptResultError`, never a cached
+  lie.
 - **Telemetry** — every run executes against an isolated
   :class:`~repro.telemetry.MetricsRegistry`; the per-run snapshot is
   serialised back from the worker (or taken in-process for serial
   runs) and merged into the registry that was current when the runner
-  was constructed.  A ``jobs=N`` sweep therefore aggregates to exactly
-  the counters a ``jobs=1`` sweep produces.  Failed attempts are
-  discarded, not merged, so retries never double-count.
+  was constructed.  Failed attempts are discarded, not merged, so
+  retries never double-count.
+
+Fault injection (:mod:`repro.faults`) plugs in through the
+``fault_plan`` argument: the plan is resolved against the batch size
+and each attempt is *armed* with at most one fault via the
+``RunSpec.fault`` field — which is excluded from the cache key, so an
+armed run is still the same run.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import multiprocessing
+import pickle
+import signal
+import threading
+import time
 import traceback
+from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError, ExecutionError
+from ..errors import ConfigurationError, CorruptResultError, ExecutionError
+from ..faults import FaultPlan, FaultSpec, fire_execution_fault, garble_result, poison_cache_entry
 from ..telemetry.registry import MetricsRegistry, isolated
 from ..telemetry.registry import registry as _metrics_registry
 from .cache import ResultCache
+from .failures import FailureReport
 from .hashing import spec_key
+from .journal import SweepJournal
+from .policy import PERMANENT, TIMEOUT, RetryPolicy, error_lineage
 
 
 @dataclass(frozen=True)
@@ -45,6 +87,10 @@ class RunSpec:
     kind: str  # an executor name: "characterization" | "finite_cpuburn" | custom
     config: Any  # ExperimentConfig (typed loosely to keep this layer generic)
     params: Mapping[str, Any] = field(default_factory=dict)
+    #: Fault armed for the *current attempt* (fault injection only).
+    #: Excluded from equality and from :attr:`key`: an armed run is
+    #: still the same run, cached under the same key.
+    fault: Optional[FaultSpec] = field(default=None, compare=False)
 
     @property
     def key(self) -> str:
@@ -92,34 +138,120 @@ def _resolve_executor(kind: str) -> Callable[..., Any]:
 
 
 def execute_spec(spec: RunSpec) -> Any:
-    """Run one spec in the current process."""
+    """Run one spec in the current process (faults not applied)."""
     return _resolve_executor(spec.kind)(spec.config, **spec.params)
 
 
-def _execute_instrumented(spec: RunSpec) -> Tuple[Any, Dict[str, Any]]:
-    """Run one spec against a fresh metrics registry.
+def _payload_digest(result: Any) -> str:
+    """Integrity digest of a result: sha256 over its canonical pickle."""
+    return hashlib.sha256(
+        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    ).hexdigest()
 
-    Returns the result together with the registry snapshot covering
-    exactly that run (construction, simulation, instruments).  On
-    failure the partial snapshot is discarded with the exception.
+
+def _execute_attempt(spec: RunSpec) -> Tuple[Any, Dict[str, Any], str]:
+    """Run one attempt: fire any armed fault, simulate instrumented.
+
+    Returns ``(result, metrics snapshot, digest)``.  The digest is
+    taken *before* a ``corrupt`` fault garbles the payload, which is
+    exactly what lets the parent detect the corruption.
     """
+    if spec.fault is not None:
+        fire_execution_fault(spec.fault)
     with isolated() as run_registry:
         with run_registry.timer("runtime.run_wall").time():
             result = execute_spec(spec)
-        return result, run_registry.snapshot()
+        snapshot = run_registry.snapshot()
+    digest = _payload_digest(result)
+    if spec.fault is not None:
+        result = garble_result(spec.fault, result)
+    return result, snapshot, digest
 
 
-def _pool_worker(
-    indexed: Tuple[int, RunSpec]
-) -> Tuple[int, bool, Any, Optional[Dict[str, Any]]]:
-    """Top-level (picklable) pool target; never raises, so one bad run
-    cannot poison the whole map call."""
-    index, spec = indexed
+def _verify_payload(spec: RunSpec, result: Any, digest: str) -> None:
+    if _payload_digest(result) != digest:
+        raise CorruptResultError(
+            f"run {spec.kind}{dict(spec.params)!r} returned a payload whose "
+            f"digest does not match the one taken at production time"
+        )
+
+
+def _failure_info(error: BaseException, tb: Optional[str] = None) -> Dict[str, Any]:
+    """A picklable description of a failed attempt."""
+    return {
+        "error_type": type(error).__name__,
+        "lineage": error_lineage(error),
+        "message": str(error),
+        "traceback": tb if tb is not None else traceback.format_exc(),
+    }
+
+
+def _timeout_info(seconds: float, where: str) -> Dict[str, Any]:
+    return {
+        "error_type": "RunTimeoutError",
+        "lineage": ("RunTimeoutError", "ExecutionError", "ReproError", "Exception"),
+        "message": f"run exceeded its {seconds:g}s wall-clock deadline ({where})",
+        "traceback": None,
+    }
+
+
+def _subprocess_main(conn, spec: RunSpec) -> None:
+    """Worker-process entry point: one attempt, outcome over the pipe."""
     try:
-        result, snapshot = _execute_instrumented(spec)
-    except Exception:
-        return index, False, traceback.format_exc(), None
-    return index, True, result, snapshot
+        outcome: Tuple[Any, ...] = ("ok",) + _execute_attempt(spec)
+    except BaseException as error:  # noqa: BLE001 - must never leak
+        outcome = ("err", _failure_info(error))
+    try:
+        conn.send(outcome)
+    except Exception as error:
+        # The result itself failed to pickle — report that instead.
+        try:
+            conn.send(("err", _failure_info(error)))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Interrupt an in-process run after ``seconds`` of wall clock.
+
+    Uses ``SIGALRM`` (with sub-second resolution via ``setitimer``), so
+    enforcement is only possible on the main thread of a Unix process;
+    anywhere else the block runs un-deadlined — pooled runs don't need
+    this, their parent kills the whole worker process instead.
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    from ..errors import RunTimeoutError
+
+    def _on_alarm(signum, frame):
+        raise RunTimeoutError(
+            f"run exceeded its {seconds:g}s wall-clock deadline (in-process)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _terminate(process) -> None:
+    """Kill one worker process, escalating if SIGTERM is ignored."""
+    process.terminate()
+    process.join(2.0)
+    if process.is_alive():  # pragma: no cover - needs a SIGTERM-immune child
+        process.kill()
+        process.join(1.0)
 
 
 # ----------------------------------------------------------------------
@@ -135,33 +267,62 @@ class RunnerMetrics:
     executed: int = 0
     cache_hits: int = 0
     cache_stores: int = 0
-    #: Worker failures observed (each is retried once in the parent).
+    #: Cache hits whose key was already journaled when the sweep
+    #: started — i.e. runs a ``--resume`` invocation did not redo.
+    replayed: int = 0
+    #: Failed attempts observed (transient, permanent, and timeouts).
     failures: int = 0
+    #: Retry attempts granted by the policy.
     retries: int = 0
+    #: Attempts killed (or interrupted) at the wall-clock deadline.
+    timeouts: int = 0
+    #: Attempts whose error was classified permanent (failed fast).
+    permanent_failures: int = 0
+    #: Runs abandoned terminally under keep-going.
+    abandoned: int = 0
+    #: Total seconds of retry backoff the batch waited through.
+    backoff_seconds: float = 0.0
 
     def summary(self) -> str:
         parts = [f"{self.executed} executed", f"{self.cache_hits} cached"]
+        if self.replayed:
+            parts.append(f"{self.replayed} replayed")
         if self.failures:
             parts.append(f"{self.failures} failed/{self.retries} retried")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timed out")
+        if self.abandoned:
+            parts.append(f"{self.abandoned} abandoned")
         return ", ".join(parts)
 
 
 @dataclass(frozen=True)
 class ProgressEvent:
-    """Emitted once per completed run (cache hit, pool run, or retry)."""
+    """Emitted once per finished run (completed or abandoned)."""
 
     index: int  # position in the submitted batch
-    done: int  # runs completed so far (this batch)
+    done: int  # runs finished so far (this batch)
     total: int  # batch size
-    source: str  # "cache" | "run" | "retry"
+    source: str  # "cache" | "replay" | "run" | "retry" | "failed"
     spec: RunSpec
+
+
+@dataclass
+class _Task:
+    """Parent-side state of one pending run."""
+
+    index: int
+    spec: RunSpec
+    key: Optional[str]
+    attempt: int = 0
 
 
 # ----------------------------------------------------------------------
 # The runner
 # ----------------------------------------------------------------------
 class ParallelRunner:
-    """Execute batches of :class:`RunSpec` with pooling and caching.
+    """Execute batches of :class:`RunSpec` with pooling, caching, and
+    fault tolerance.
 
     Parameters
     ----------
@@ -174,10 +335,28 @@ class ParallelRunner:
         matching future runs are served without simulating.
     progress:
         Optional callback invoked with a :class:`ProgressEvent` after
-        every completed run (from the parent process only).
+        every finished run (from the parent process only).
     start_method:
         Forwarded to :func:`multiprocessing.get_context`; None uses the
         platform default.
+    timeout:
+        Per-run wall-clock deadline in seconds.  Pooled runs that
+        exceed it have their worker killed; in-process runs are
+        interrupted via ``SIGALRM`` (main thread, Unix).  ``None``
+        disables deadlines.
+    retry_policy:
+        A :class:`RetryPolicy`; the default preserves the historical
+        retry-once behaviour, now with classification and backoff.
+    journal:
+        Optional :class:`SweepJournal`; every completion is journaled
+        so an interrupted sweep can be resumed.
+    keep_going:
+        When True, a terminally failed run is recorded in
+        :attr:`failure_report` (its result stays ``None``) instead of
+        raising :class:`~repro.errors.ExecutionError`.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` armed per batch —
+        the chaos-testing hook; see :mod:`repro.faults`.
     """
 
     def __init__(
@@ -187,14 +366,30 @@ class ParallelRunner:
         cache: Optional[ResultCache] = None,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
         start_method: Optional[str] = None,
+        timeout: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        journal: Optional[SweepJournal] = None,
+        keep_going: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0 seconds, got {timeout}")
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
         self.start_method = start_method
+        self.timeout = timeout
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.journal = journal
+        self.keep_going = keep_going
+        self.fault_plan = fault_plan
         self.metrics = RunnerMetrics()
+        self.failure_report = FailureReport()
+        #: Cache keys already poisoned by this runner's fault plan
+        #: (each ``poison`` fault fires once per runner lifetime).
+        self._poisoned: set = set()
         #: Per-run metric snapshots (and the runner's own counters)
         #: aggregate into the registry current at construction time.
         self.registry: MetricsRegistry = _metrics_registry()
@@ -202,97 +397,294 @@ class ParallelRunner:
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> List[Any]:
-        """Execute every spec; results in submission order."""
+        """Execute every spec; results in submission order.
+
+        Under ``keep_going`` an abandoned run's slot holds ``None`` and
+        the failure is recorded in :attr:`failure_report`; otherwise a
+        terminal failure raises :class:`~repro.errors.ExecutionError`
+        (after the pool, if any, is torn down cleanly).
+        """
         specs = list(specs)
         total = len(specs)
+        plan = self.fault_plan.resolve(total) if self.fault_plan is not None else None
         self.metrics.submitted += total
         self._metric_scope.counter("submitted").inc(total)
         results: List[Any] = [None] * total
-        done = 0
+        state = {"done": 0}
+        replayable = self.journal.replayable if self.journal is not None else frozenset()
 
-        # Serve what we can from the cache.
-        pending: List[Tuple[int, RunSpec, Optional[str]]] = []
-        for index, spec in enumerate(specs):
-            key = spec.key if self.cache is not None else None
-            hit = self.cache.get(key) if key is not None else None
-            if hit is not None:
-                results[index] = hit
-                self.metrics.cache_hits += 1
-                self.metrics.completed += 1
-                self._metric_scope.counter("cache_hits").inc()
-                self._metric_scope.counter("completed").inc()
-                done += 1
-                self._emit(index, done, total, "cache", spec)
-            else:
-                pending.append((index, spec, key))
+        # ------------------------------------------------------------------
+        def finish(index: int, source: str, spec: RunSpec) -> None:
+            state["done"] += 1
+            self._emit(index, state["done"], total, source, spec)
 
-        # Execute the misses.
-        failed: List[Tuple[int, RunSpec, Optional[str], str]] = []
-
-        def complete(
-            index: int,
-            spec: RunSpec,
-            key: Optional[str],
-            result: Any,
-            source: str,
-            snapshot: Optional[Dict[str, Any]] = None,
-        ) -> None:
-            nonlocal done
-            results[index] = result
+        def complete(task: _Task, result: Any, snapshot: Optional[Dict[str, Any]], source: str) -> None:
+            results[task.index] = result
             self.metrics.executed += 1
             self.metrics.completed += 1
             self._metric_scope.counter("executed").inc()
             self._metric_scope.counter("completed").inc()
             if snapshot is not None:
                 self.registry.merge(snapshot)
-            done += 1
-            if key is not None and self.cache is not None:
-                self.cache.put(key, result)
+            if task.key is not None and self.cache is not None:
+                self.cache.put(task.key, result)
                 self.metrics.cache_stores += 1
-            self._emit(index, done, total, source, spec)
+                if (
+                    plan is not None
+                    and task.index in plan.poison_targets
+                    and task.key not in self._poisoned
+                ):
+                    poison_cache_entry(self.cache, task.key)
+                    self._poisoned.add(task.key)
+            if self.journal is not None and task.key is not None:
+                self.journal.record_done(task.key, source)
+            if task.attempt > 1:
+                self.failure_report.mark_recovered(task.index)
+            finish(task.index, source, task.spec)
 
-        if self.jobs > 1 and len(pending) > 1:
-            by_index = {index: (spec, key) for index, spec, key in pending}
-            context = multiprocessing.get_context(self.start_method)
-            workers = min(self.jobs, len(pending))
-            with context.Pool(processes=workers) as pool:
-                outcomes = pool.imap_unordered(
-                    _pool_worker, [(index, spec) for index, spec, _ in pending]
+        def on_attempt_failure(task: _Task, info: Dict[str, Any]) -> Tuple[str, float]:
+            """Classify one failed attempt; returns ("retry", delay) or
+            ("failed", 0) for a kept-going terminal failure.  A terminal
+            failure without keep_going raises ExecutionError."""
+            classification = self.retry_policy.classify(info["lineage"])
+            self.metrics.failures += 1
+            self._metric_scope.counter("failures").inc()
+            if classification == TIMEOUT:
+                self.metrics.timeouts += 1
+                self._metric_scope.counter("timeouts").inc()
+            if classification == PERMANENT:
+                self.metrics.permanent_failures += 1
+                self._metric_scope.counter("permanent_failures").inc()
+            self.failure_report.record(
+                index=task.index,
+                kind=task.spec.kind,
+                params=task.spec.params,
+                key=task.key,
+                error_type=info["error_type"],
+                message=info["message"],
+                classification=classification,
+                attempt=task.attempt,
+                traceback=info.get("traceback"),
+            )
+            if self.retry_policy.should_retry(classification, task.attempt):
+                delay = self.retry_policy.backoff(task.attempt, task.key or task.spec.kind)
+                self.metrics.retries += 1
+                self.metrics.backoff_seconds += delay
+                self._metric_scope.counter("retries").inc()
+                self._metric_scope.counter("backoff_seconds").inc(delay)
+                return "retry", delay
+            if self.journal is not None:
+                self.journal.record_failure(
+                    task.key, info["error_type"], info["message"]
                 )
-                for index, ok, payload, snapshot in outcomes:
-                    spec, key = by_index[index]
-                    if ok:
-                        complete(index, spec, key, payload, "run", snapshot)
-                    else:
-                        self.metrics.failures += 1
-                        self._metric_scope.counter("failures").inc()
-                        failed.append((index, spec, key, payload))
-        else:
-            for index, spec, key in pending:
-                try:
-                    result, snapshot = _execute_instrumented(spec)
-                except Exception:
-                    self.metrics.failures += 1
-                    self._metric_scope.counter("failures").inc()
-                    failed.append((index, spec, key, traceback.format_exc()))
+            if self.keep_going:
+                self.metrics.abandoned += 1
+                self._metric_scope.counter("abandoned").inc()
+                finish(task.index, "failed", task.spec)
+                return "failed", 0.0
+            raise ExecutionError(
+                f"run {task.spec.kind}{dict(task.spec.params)!r} failed "
+                f"({classification}, attempt {task.attempt}/"
+                f"{self.retry_policy.max_attempts}):\n"
+                f"{info.get('traceback') or info['message']}"
+            )
+
+        # ------------------------------------------------------------------
+        # Serve what we can from the cache (journaled keys are replays).
+        pending: List[_Task] = []
+        want_key = self.cache is not None or self.journal is not None
+        for index, spec in enumerate(specs):
+            key = spec.key if want_key else None
+            hit = self.cache.get(key) if self.cache is not None and key is not None else None
+            if hit is not None:
+                results[index] = hit
+                if key in replayable:
+                    source = "replay"
+                    self.metrics.replayed += 1
+                    self._metric_scope.counter("replayed").inc()
                 else:
-                    complete(index, spec, key, result, "run", snapshot)
+                    source = "cache"
+                    self.metrics.cache_hits += 1
+                    self._metric_scope.counter("cache_hits").inc()
+                self.metrics.completed += 1
+                self._metric_scope.counter("completed").inc()
+                if self.journal is not None:
+                    self.journal.record_done(key, source)
+                finish(index, source, spec)
+            else:
+                pending.append(_Task(index=index, spec=spec, key=key))
 
-        # Retry each failure once, serially in the parent (deterministic
-        # and debuggable: a second failure surfaces the real traceback).
-        for index, spec, key, first_traceback in failed:
-            self.metrics.retries += 1
-            self._metric_scope.counter("retries").inc()
-            try:
-                result, snapshot = _execute_instrumented(spec)
-            except Exception as retry_error:
-                raise ExecutionError(
-                    f"run {spec.kind}{dict(spec.params)!r} failed twice; "
-                    f"first failure:\n{first_traceback}"
-                ) from retry_error
-            complete(index, spec, key, result, "retry", snapshot)
-
+        # Execute the misses.
+        try:
+            if self.jobs > 1 and len(pending) > 1:
+                self._run_pooled(pending, plan, complete, on_attempt_failure)
+            else:
+                self._run_serial(pending, plan, complete, on_attempt_failure)
+        finally:
+            # Whatever happens — ExecutionError, KeyboardInterrupt — the
+            # journal must reflect every completion already achieved, so
+            # a subsequent --resume picks them up.
+            if self.journal is not None:
+                self.journal.flush()
         return results
+
+    # ------------------------------------------------------------------
+    def _arm(self, task: _Task, plan: Optional[FaultPlan]) -> RunSpec:
+        """The spec for this attempt, with at most one fault attached."""
+        if plan is not None:
+            fault = plan.fault_for(task.index, task.attempt)
+        elif task.spec.fault is not None and task.spec.fault.fires_on(task.attempt):
+            fault = task.spec.fault
+        else:
+            fault = None
+        if fault is task.spec.fault:
+            return task.spec
+        return dataclasses.replace(task.spec, fault=fault)
+
+    def _run_serial(
+        self,
+        tasks: List[_Task],
+        plan: Optional[FaultPlan],
+        complete: Callable,
+        on_attempt_failure: Callable,
+    ) -> None:
+        """In-process execution with deadline + retry semantics."""
+        for task in tasks:
+            while True:
+                task.attempt += 1
+                armed = self._arm(task, plan)
+                try:
+                    with _deadline(self.timeout):
+                        result, snapshot, digest = _execute_attempt(armed)
+                    _verify_payload(armed, result, digest)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as error:
+                    action, delay = on_attempt_failure(task, _failure_info(error))
+                    if action == "retry":
+                        time.sleep(delay)
+                        continue
+                    break  # kept going; slot stays None
+                else:
+                    complete(task, result, snapshot, "run" if task.attempt == 1 else "retry")
+                    break
+
+    def _run_pooled(
+        self,
+        tasks: List[_Task],
+        plan: Optional[FaultPlan],
+        complete: Callable,
+        on_attempt_failure: Callable,
+    ) -> None:
+        """One worker process per attempt, at most ``jobs`` in flight.
+
+        The parent multiplexes over result pipes, enforces per-run
+        deadlines by killing overdue workers, and re-queues retries
+        after their backoff delay.  On any raise — a terminal
+        ExecutionError or a KeyboardInterrupt — every live worker is
+        terminated before the exception propagates.
+        """
+        context = multiprocessing.get_context(self.start_method)
+        ready = deque(tasks)
+        waiting: List[Tuple[float, _Task]] = []  # (eligible_at, task)
+        active: Dict[Any, Tuple[_Task, Any, float]] = {}  # conn -> (task, proc, started)
+        try:
+            while ready or waiting or active:
+                now = time.monotonic()
+                still_waiting = []
+                for eligible_at, task in waiting:
+                    if eligible_at <= now:
+                        ready.append(task)
+                    else:
+                        still_waiting.append((eligible_at, task))
+                waiting = still_waiting
+
+                while ready and len(active) < self.jobs:
+                    task = ready.popleft()
+                    task.attempt += 1
+                    armed = self._arm(task, plan)
+                    parent_conn, child_conn = context.Pipe(duplex=False)
+                    process = context.Process(
+                        target=_subprocess_main, args=(child_conn, armed), daemon=True
+                    )
+                    process.start()
+                    child_conn.close()
+                    active[parent_conn] = (task, process, time.monotonic())
+
+                if not active:
+                    if waiting:
+                        time.sleep(max(0.0, min(t for t, _ in waiting) - time.monotonic()))
+                    continue
+
+                # Block until an outcome arrives, a deadline expires, or
+                # a backoff becomes eligible — whichever is soonest.
+                wake_times = []
+                if self.timeout is not None:
+                    wake_times.extend(
+                        started + self.timeout for _, _, started in active.values()
+                    )
+                wake_times.extend(t for t, _ in waiting)
+                wait_timeout = (
+                    max(0.0, min(wake_times) - time.monotonic()) if wake_times else None
+                )
+                for conn in _connection_wait(list(active), timeout=wait_timeout):
+                    task, process, _started = active.pop(conn)
+                    try:
+                        outcome = conn.recv()
+                    except EOFError:
+                        # The worker died without reporting (hard crash,
+                        # OOM kill): a transient failure.
+                        outcome = (
+                            "err",
+                            {
+                                "error_type": "WorkerDied",
+                                "lineage": ("WorkerDied",),
+                                "message": "worker process exited without a result",
+                                "traceback": None,
+                            },
+                        )
+                    conn.close()
+                    process.join()
+                    if outcome[0] == "ok":
+                        _, result, snapshot, digest = outcome
+                        try:
+                            _verify_payload(task.spec, result, digest)
+                        except CorruptResultError as error:
+                            outcome = ("err", _failure_info(error))
+                        else:
+                            complete(
+                                task,
+                                result,
+                                snapshot,
+                                "run" if task.attempt == 1 else "retry",
+                            )
+                            continue
+                    action, delay = on_attempt_failure(task, outcome[1])
+                    if action == "retry":
+                        waiting.append((time.monotonic() + delay, task))
+
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    overdue = [
+                        conn
+                        for conn, (_, _, started) in active.items()
+                        if now - started >= self.timeout
+                    ]
+                    for conn in overdue:
+                        task, process, _started = active.pop(conn)
+                        _terminate(process)
+                        conn.close()
+                        action, delay = on_attempt_failure(
+                            task, _timeout_info(self.timeout, "worker killed")
+                        )
+                        if action == "retry":
+                            waiting.append((time.monotonic() + delay, task))
+        except BaseException:
+            for _task, process, _started in active.values():
+                _terminate(process)
+            for conn in active:
+                conn.close()
+            raise
 
     # ------------------------------------------------------------------
     # Typed conveniences

@@ -1,0 +1,143 @@
+"""Retry policy: how many attempts a run gets, and which errors deserve them.
+
+The old runtime retried *every* worker failure exactly once — which
+wasted a full simulation on deterministic errors (a bad parameter
+raises the same :class:`~repro.errors.ConfigurationError` on every
+attempt) and gave genuinely transient failures (a worker killed by the
+OS, an injected crash) only one more chance with no spacing between
+attempts.  :class:`RetryPolicy` fixes both:
+
+- **Classification.**  Errors are split into *permanent* (deterministic
+  given the run's inputs: configuration/validation errors, ``TypeError``
+  from bad params, scheduler-invariant violations) and *transient*
+  (everything else).  Permanent errors fail fast with the original
+  traceback; transient errors are retried.  Classification works on
+  exception *type names* walked over the MRO, because a worker failure
+  crosses the process boundary as strings, not exception objects.
+- **Backoff.**  Retry ``n`` waits ``base * factor**(n-1)`` seconds plus
+  a deterministic jitter derived from the run key — sha256-based, so a
+  re-run of the same sweep backs off identically (no wall-clock or
+  global-RNG dependence) while distinct runs de-synchronise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Union
+
+from ..errors import ConfigurationError
+
+#: Exception type names (matched against the full MRO) whose failures
+#: are deterministic: retrying the identical spec cannot succeed.
+PERMANENT_ERROR_TYPES: FrozenSet[str] = frozenset(
+    {
+        # Deliberate validation errors from this package.
+        "ConfigurationError",
+        "SimulationError",
+        "SchedulerError",
+        "WorkloadError",
+        "TelemetryError",
+        "AnalysisError",
+        # Deterministic Python errors from bad specs (e.g. an unknown
+        # keyword argument raising TypeError in the executor).
+        "TypeError",
+        "ValueError",
+        "KeyError",
+        "AttributeError",
+        "NameError",
+        "ImportError",
+        "NotImplementedError",
+    }
+)
+
+#: How the policy labels a failed attempt.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+TIMEOUT = "timeout"
+
+
+def error_lineage(error: BaseException) -> tuple:
+    """The exception's MRO type names — the picklable classification key."""
+    return tuple(
+        cls.__name__ for cls in type(error).__mro__ if cls is not object
+    )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget + backoff schedule + error classification."""
+
+    #: Total attempts per run (first try included).  2 preserves the
+    #: historical retry-once behaviour.
+    max_attempts: int = 2
+    #: Seconds before the first retry.
+    backoff_base: float = 0.05
+    #: Multiplier applied per further retry.
+    backoff_factor: float = 2.0
+    #: Ceiling on any single backoff delay.
+    backoff_max: float = 5.0
+    #: Jitter amplitude as a fraction of the computed delay.
+    jitter: float = 0.25
+    #: Type names treated as permanent (checked against the error's MRO).
+    permanent_types: FrozenSet[str] = field(default=PERMANENT_ERROR_TYPES)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_max < 0:
+            raise ConfigurationError(
+                "backoff must satisfy base >= 0, factor >= 1, max >= 0; got "
+                f"base={self.backoff_base}, factor={self.backoff_factor}, "
+                f"max={self.backoff_max}"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    # ------------------------------------------------------------------
+    def classify(
+        self, error: Union[BaseException, Iterable[str]]
+    ) -> str:
+        """``"timeout"``, ``"permanent"``, or ``"transient"``.
+
+        Accepts a live exception or the :func:`error_lineage` name
+        tuple a worker shipped across the process boundary.
+        """
+        if isinstance(error, BaseException):
+            lineage = error_lineage(error)
+        else:
+            lineage = tuple(error)
+        if "RunTimeoutError" in lineage:
+            return TIMEOUT
+        if self.permanent_types.intersection(lineage):
+            return PERMANENT
+        return TRANSIENT
+
+    def should_retry(self, classification: str, attempt: int) -> bool:
+        """Whether the run deserves attempt ``attempt + 1``."""
+        if classification == PERMANENT:
+            return False
+        return attempt < self.max_attempts
+
+    # ------------------------------------------------------------------
+    def backoff(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before retrying after failed attempt ``attempt``.
+
+        Exponential in the attempt number, capped at ``backoff_max``,
+        plus a jitter in ``[0, jitter * delay]`` drawn deterministically
+        from ``sha256(key, attempt)`` so the schedule is reproducible
+        per run and de-correlated across runs.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt is 1-based, got {attempt}")
+        delay = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+        if delay <= 0 or self.jitter == 0:
+            return delay
+        digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return delay + delay * self.jitter * fraction

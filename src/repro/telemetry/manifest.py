@@ -58,6 +58,8 @@ class RunManifest:
     code_fingerprint: str
     #: Worker processes the batch ran with.
     jobs: int = 1
+    #: Whether this invocation resumed an interrupted sweep's journal.
+    resumed: bool = False
     #: ``git describe`` of the checkout, when available.
     git: Optional[str] = None
     #: ISO-8601 wall-clock timestamp of the invocation.
@@ -68,6 +70,8 @@ class RunManifest:
     runner: Dict[str, Any] = dataclasses.field(default_factory=dict)
     #: CacheStats counters, or None when caching was disabled.
     cache: Optional[Dict[str, Any]] = None
+    #: FailureReport.to_dict() when any attempt failed, else None.
+    failures: Optional[Dict[str, Any]] = None
     #: Aggregated MetricsRegistry snapshot for the whole invocation.
     metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
     schema: int = MANIFEST_SCHEMA_VERSION

@@ -165,4 +165,146 @@ def test_make_runner_honours_flags(tmp_path):
     runner = make_runner(jobs=3, cache_dir=str(tmp_path), use_cache=True)
     assert runner.jobs == 3
     assert runner.cache is not None
-    assert make_runner(use_cache=False).cache is None
+    assert runner.journal is not None  # caching implies journaling
+    runner.journal.close()
+    uncached = make_runner(use_cache=False)
+    assert uncached.cache is None
+    assert uncached.journal is None
+
+
+def test_parser_accepts_robustness_flags():
+    args = build_parser().parse_args(
+        [
+            "smoke",
+            "--timeout",
+            "30",
+            "--max-retries",
+            "2",
+            "--resume",
+            "--keep-going",
+            "--inject-faults",
+            "crash@1",
+        ]
+    )
+    assert args.timeout == 30.0
+    assert args.max_retries == 2
+    assert args.resume
+    assert args.keep_going
+    assert args.inject_faults == "crash@1"
+    # And all of them default off.
+    defaults = build_parser().parse_args(["smoke"])
+    assert defaults.timeout is None
+    assert defaults.max_retries == 1
+    assert not defaults.resume
+    assert not defaults.keep_going
+    assert defaults.inject_faults is None
+
+
+def test_make_runner_builds_retry_policy_and_fault_plan(tmp_path):
+    runner = make_runner(
+        cache_dir=str(tmp_path),
+        use_cache=True,
+        timeout=30.0,
+        max_retries=3,
+        keep_going=True,
+        inject_faults="crash@1",
+    )
+    assert runner.timeout == 30.0
+    assert runner.retry_policy.max_attempts == 4  # first try + 3 retries
+    assert runner.keep_going
+    assert runner.fault_plan.faults[0].kind == "crash"
+    runner.journal.close()
+
+
+def test_make_runner_rejects_bad_robustness_flags(tmp_path):
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        make_runner(max_retries=-1)
+    with pytest.raises(ConfigurationError):
+        make_runner(use_cache=False, resume=True)
+    with pytest.raises(ConfigurationError):
+        make_runner(cache_dir=str(tmp_path), use_cache=True, inject_faults="nope")
+
+
+def test_main_reports_flag_conflicts_as_exit_2(capsys):
+    assert main(["smoke", "--no-cache", "--resume"]) == 2
+    assert "--resume needs the cache" in capsys.readouterr().err
+
+
+def test_injected_crash_recovers_and_is_reported(capsys, tmp_path):
+    """A seeded crash is retried transparently: same table as a clean
+    run, exit 0, and the failure report names the injected fault."""
+    cache_dir = str(tmp_path / "cache")
+    assert main(["smoke", "--cache-dir", cache_dir]) == 0
+    clean = capsys.readouterr().out
+
+    chaos_dir = str(tmp_path / "chaos")
+    assert main(["smoke", "--cache-dir", chaos_dir, "--inject-faults", "crash@1"]) == 0
+    chaotic = capsys.readouterr().out
+    assert chaotic.splitlines()[:7] == clean.splitlines()[:7]
+    assert "InjectedFaultError" in chaotic
+    assert "recovered" in chaotic
+
+
+def test_abandoned_run_fails_the_invocation_under_keep_going(capsys, tmp_path):
+    """--max-retries 0 turns the injected crash terminal; --keep-going
+    finishes the sweep but the exit code still reports the loss."""
+    code = main(
+        [
+            "smoke",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--max-retries",
+            "0",
+            "--keep-going",
+            "--inject-faults",
+            "crash@1",
+        ]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "ABANDONED" in out
+
+
+def test_manifest_records_failures_and_resume(tmp_path):
+    from repro.telemetry import RunManifest
+
+    cache_dir = str(tmp_path / "cache")
+    manifest_path = tmp_path / "manifest.json"
+    assert (
+        main(
+            [
+                "smoke",
+                "--cache-dir",
+                cache_dir,
+                "--inject-faults",
+                "crash@1",
+                "--metrics",
+                str(manifest_path),
+            ]
+        )
+        == 0
+    )
+    manifest = RunManifest.load(manifest_path)
+    assert manifest.resumed is False
+    assert manifest.failures["attempts_failed"] == 1
+    assert manifest.failures["recovered"] == 1
+    assert manifest.failures["fatal"] == 0
+    assert manifest.failures["failures"][0]["error_type"] == "InjectedFaultError"
+    assert manifest.runner["retries"] == 1
+
+    # A --resume invocation replays the journaled sweep entirely.
+    resume_path = tmp_path / "resume.json"
+    assert (
+        main(
+            ["smoke", "--cache-dir", cache_dir, "--resume", "--metrics", str(resume_path)]
+        )
+        == 0
+    )
+    resumed = RunManifest.load(resume_path)
+    assert resumed.resumed is True
+    assert resumed.failures is None
+    runner = resumed.runner
+    assert runner["executed"] == 0 and runner["cache_hits"] == 0
+    assert runner["replayed"] == runner["submitted"] == 5

@@ -1,0 +1,194 @@
+"""Tests for the fault-injection plans: parsing, resolution, actions."""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CORRUPT,
+    CORRUPT_PAYLOAD,
+    CRASH,
+    HANG,
+    POISON,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    fire_execution_fault,
+    garble_result,
+    poison_cache_entry,
+)
+
+
+# ----------------------------------------------------------------------
+# FaultSpec validation and firing
+# ----------------------------------------------------------------------
+def test_fault_spec_validates_kind_index_attempts():
+    with pytest.raises(ConfigurationError):
+        FaultSpec(kind="explode", run_index=0)
+    with pytest.raises(ConfigurationError):
+        FaultSpec(kind=CRASH, run_index=-1)
+    with pytest.raises(ConfigurationError):
+        FaultSpec(kind=CRASH, run_index=0, attempts=())
+    with pytest.raises(ConfigurationError):
+        FaultSpec(kind=CRASH, run_index=0, attempts=(0,))
+    with pytest.raises(ConfigurationError):
+        FaultSpec(kind=HANG, run_index=0, hang_seconds=0.0)
+
+
+def test_faults_fire_on_first_attempt_only_by_default():
+    fault = FaultSpec(kind=CRASH, run_index=2)
+    assert fault.fires_on(1)
+    assert not fault.fires_on(2)  # the retry runs clean and recovers
+    both = FaultSpec(kind=CRASH, run_index=2, attempts=(1, 2))
+    assert both.fires_on(2)
+
+
+def test_crash_fault_raises_injected_error():
+    with pytest.raises(InjectedFaultError):
+        fire_execution_fault(FaultSpec(kind=CRASH, run_index=0))
+
+
+def test_injected_crash_is_not_a_repro_error():
+    """It must classify transient, like the worker crashes it mimics."""
+    from repro.errors import ReproError
+    from repro.runtime import TRANSIENT, RetryPolicy
+
+    assert not issubclass(InjectedFaultError, ReproError)
+    assert RetryPolicy().classify(InjectedFaultError("x")) == TRANSIENT
+
+
+def test_hang_fault_sleeps_for_its_duration():
+    fault = FaultSpec(kind=HANG, run_index=0, hang_seconds=0.15)
+    start = time.monotonic()
+    fire_execution_fault(fault)
+    assert time.monotonic() - start >= 0.15
+
+
+def test_corrupt_fault_garbles_only_the_targeted_payload():
+    corrupt = FaultSpec(kind=CORRUPT, run_index=0)
+    assert garble_result(corrupt, {"real": 1}) == CORRUPT_PAYLOAD
+    crash = FaultSpec(kind=CRASH, run_index=0)
+    assert garble_result(crash, {"real": 1}) == {"real": 1}
+    # And corrupt is a no-op at execution time (it acts on the result).
+    fire_execution_fault(corrupt)
+
+
+# ----------------------------------------------------------------------
+# Plan parsing
+# ----------------------------------------------------------------------
+def test_parse_explicit_plan():
+    plan = FaultPlan.parse("crash@1, hang@3:30, corrupt@2, poison@0")
+    kinds = [(f.kind, f.run_index) for f in plan.faults]
+    assert kinds == [(CRASH, 1), (HANG, 3), (CORRUPT, 2), (POISON, 0)]
+    assert plan.faults[1].hang_seconds == 30.0
+    assert plan.poison_targets == {0}
+    assert plan.describe() == "crash@1,hang@3:30,corrupt@2,poison@0"
+
+
+def test_parse_seeded_plan():
+    plan = FaultPlan.parse("seed=7,crash=1,hang=2,hang_seconds=5")
+    assert plan.seed == 7
+    assert plan.crashes == 1
+    assert plan.hangs == 2
+    assert plan.hang_seconds == 5.0
+    assert plan.faults == ()  # targets drawn only at resolve() time
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        "crash",  # no @index
+        "crash@x",  # non-integer index
+        "boom@1",  # unknown kind
+        "crash@1:30",  # :seconds on a non-hang fault
+        "hang@1:fast",  # non-numeric duration
+        "seed=7,explode=1",  # unknown seeded field
+        "crash=1",  # seeded form without seed=
+        "seed=abc",  # non-numeric seed
+    ],
+)
+def test_parse_rejects_malformed_plans(text):
+    with pytest.raises(ConfigurationError):
+        FaultPlan.parse(text)
+
+
+# ----------------------------------------------------------------------
+# Resolution against a batch
+# ----------------------------------------------------------------------
+def test_explicit_plan_validates_indices_against_batch_size():
+    plan = FaultPlan.parse("crash@4")
+    assert plan.resolve(5) is plan
+    with pytest.raises(ConfigurationError):
+        plan.resolve(4)
+
+
+def test_seeded_resolution_is_deterministic():
+    plan = FaultPlan.seeded(7, crashes=1, hangs=1, poisons=1)
+    a = plan.resolve(10)
+    b = plan.resolve(10)
+    assert a.faults == b.faults
+    # Distinct targets, one per requested fault.
+    indices = [f.run_index for f in a.faults]
+    assert len(indices) == len(set(indices)) == 3
+    assert all(0 <= i < 10 for i in indices)
+    # A different seed picks (with near-certainty) different targets.
+    other = FaultPlan.seeded(8, crashes=1, hangs=1, poisons=1).resolve(10)
+    assert a.faults != other.faults
+
+
+def test_seeded_resolution_depends_on_batch_size():
+    plan = FaultPlan.seeded(7, crashes=2)
+    small = plan.resolve(4)
+    large = plan.resolve(100)
+    assert all(f.run_index < 4 for f in small.faults)
+    assert all(f.run_index < 100 for f in large.faults)
+
+
+def test_seeded_plan_rejects_more_faults_than_runs():
+    with pytest.raises(ConfigurationError):
+        FaultPlan.seeded(1, crashes=3, hangs=3).resolve(5)
+
+
+def test_seeded_hang_seconds_propagate_to_resolved_faults():
+    plan = FaultPlan.seeded(7, hangs=1, hang_seconds=2.5).resolve(5)
+    assert plan.faults[0].hang_seconds == 2.5
+
+
+# ----------------------------------------------------------------------
+# Lookup and cache poisoning
+# ----------------------------------------------------------------------
+def test_fault_for_returns_execution_faults_only():
+    plan = FaultPlan.parse("crash@1,poison@2")
+    assert plan.fault_for(1, attempt=1).kind == CRASH
+    assert plan.fault_for(1, attempt=2) is None  # retry is clean
+    assert plan.fault_for(0, attempt=1) is None
+    assert plan.fault_for(2, attempt=1) is None  # poison is not executed
+
+
+def test_poison_cache_entry_overwrites_a_stored_entry(tmp_path):
+    from repro.experiments import CharacterizationResult
+    from repro.runtime import ResultCache
+
+    result = CharacterizationResult(
+        workload="cpuburn",
+        p=0.5,
+        idle_quantum=0.01,
+        duration=10.0,
+        mean_temp=40.0,
+        temp_rise=8.0,
+        idle_temp=32.0,
+        work=17.9,
+        energy=523.25,
+        details={},
+    )
+    cache = ResultCache(tmp_path)
+    key = "a" * 64
+    assert not poison_cache_entry(cache, key)  # nothing stored yet
+    cache.put(key, result)
+    assert poison_cache_entry(cache, key)
+    # The poisoned entry must be detected, quarantined, and missed.
+    assert cache.get(key) is None
+    assert cache.stats.corrupt == 1
+    assert cache.stats.quarantined == 1

@@ -84,6 +84,52 @@ def test_corrupt_entry_is_a_miss_not_an_error(cache):
     assert cache.stats.misses == 0  # distinguished from a true miss
 
 
+def test_corrupt_entry_is_quarantined_not_reparsed(cache):
+    """The garbage is moved aside for post-mortems; the next lookup is
+    an honest miss, so the run re-executes instead of re-hitting the
+    same corrupt file forever."""
+    key = "d" * 64
+    cache.put(key, sample_characterization())
+    cache.path(key).write_text("{ truncated garbage")
+    assert cache.get(key) is None
+    assert cache.stats.quarantined == 1
+    quarantine = cache.path(key).with_name(cache.path(key).name + ".corrupt")
+    assert quarantine.exists()
+    assert quarantine.read_text() == "{ truncated garbage"
+    assert not cache.path(key).exists()
+    # Second lookup: a plain miss, not another corruption event.
+    assert cache.get(key) is None
+    assert cache.stats.corrupt == 1
+    assert cache.stats.misses == 1
+    # A fresh store for the same key works normally afterwards.
+    cache.put(key, sample_characterization())
+    assert cache.get(key) is not None
+
+
+def test_schema_stale_entry_is_not_quarantined(cache):
+    """An old-schema entry is valid data for an old build; leave it."""
+    key = "e" * 64
+    cache.put(key, sample_characterization())
+    payload = json.loads(cache.path(key).read_text())
+    payload["schema"] = -1
+    cache.path(key).write_text(json.dumps(payload))
+    assert cache.get(key) is None
+    assert cache.stats.quarantined == 0
+    assert cache.path(key).exists()
+
+
+def test_clear_sweeps_quarantined_files(cache):
+    key = "d" * 64
+    cache.put(key, sample_characterization())
+    cache.path(key).write_text("garbage")
+    cache.get(key)  # quarantines
+    cache.put("a" * 64, sample_finite())
+    assert len(cache) == 1  # quarantine does not count as an entry
+    assert cache.clear() == 1
+    quarantine = cache.path(key).with_name(cache.path(key).name + ".corrupt")
+    assert not quarantine.exists()
+
+
 def test_unrebuildable_payload_counts_as_corrupt(cache):
     key = "1" * 64
     cache.put(key, sample_characterization())
@@ -144,6 +190,7 @@ def test_telemetry_counters_track_lookup_outcomes(tmp_path):
     assert reg.value("runtime.cache.hits") == 1
     assert reg.value("runtime.cache.misses") == 1
     assert reg.value("runtime.cache.corrupt") == 1
+    assert reg.value("runtime.cache.quarantined") == 1
     assert reg.value("runtime.cache.schema_stale") == 0
 
 

@@ -1,0 +1,125 @@
+"""Tests for the crash-safe sweep journal behind --resume."""
+
+import json
+
+from repro.runtime import SweepJournal
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+def test_record_done_round_trips(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record_done(KEY_A, "run")
+        journal.record_done(KEY_B, "cache")
+    entries = SweepJournal.read_entries(path)
+    assert entries == [
+        {"status": "done", "key": KEY_A, "source": "run"},
+        {"status": "done", "key": KEY_B, "source": "cache"},
+    ]
+    assert SweepJournal.completed_in(path) == {KEY_A, KEY_B}
+
+
+def test_record_done_is_idempotent_per_key(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record_done(KEY_A, "run")
+        journal.record_done(KEY_A, "cache")  # same key again: no-op
+    assert len(SweepJournal.read_entries(path)) == 1
+
+
+def test_fresh_open_truncates_a_stale_journal(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record_done(KEY_A, "run")
+    # A non-resume sweep must not inherit the previous sweep's records.
+    fresh = SweepJournal(path)
+    assert fresh.replayable == frozenset()
+    assert SweepJournal.completed_in(path) == frozenset()
+    fresh.close()
+
+
+def test_resume_loads_replayable_and_keeps_records(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record_done(KEY_A, "run")
+        journal.record_done(KEY_B, "run")
+    resumed = SweepJournal(path, resume=True)
+    assert resumed.replayable == {KEY_A, KEY_B}
+    # New completions extend completed_keys but never replayable (it is
+    # the snapshot of what was already durable when the sweep started).
+    resumed.record_done(KEY_C, "run")
+    assert resumed.completed_keys == {KEY_A, KEY_B, KEY_C}
+    assert resumed.replayable == {KEY_A, KEY_B}
+    resumed.close()
+    assert SweepJournal.completed_in(path) == {KEY_A, KEY_B, KEY_C}
+
+
+def test_resume_tolerates_a_truncated_tail_line(tmp_path):
+    """The one crash artefact the append protocol admits: a final line
+    cut off between write() and fsync().  It must cost exactly that
+    run, not the whole journal."""
+    path = tmp_path / "journal.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record_done(KEY_A, "run")
+        journal.record_done(KEY_B, "run")
+    text = path.read_text()
+    path.write_text(text[: len(text) - 20])  # chop into the last record
+    resumed = SweepJournal(path, resume=True)
+    assert resumed.replayable == {KEY_A}
+    resumed.close()
+
+
+def test_failures_are_journaled_but_not_replayable(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with SweepJournal(path) as journal:
+        journal.record_done(KEY_A, "run")
+        journal.record_failure(KEY_B, "ConfigurationError", "bad p")
+    entries = SweepJournal.read_entries(path)
+    assert entries[1] == {
+        "status": "failed",
+        "key": KEY_B,
+        "error_type": "ConfigurationError",
+        "message": "bad p",
+    }
+    # A failed run is not done: a resumed sweep re-executes it.
+    resumed = SweepJournal(path, resume=True)
+    assert resumed.replayable == {KEY_A}
+    resumed.close()
+
+
+def test_each_append_is_durable_on_disk_immediately(tmp_path):
+    """Records must be readable before close() — that is the whole
+    point of a crash-safe journal."""
+    path = tmp_path / "journal.jsonl"
+    journal = SweepJournal(path)
+    journal.record_done(KEY_A, "run")
+    assert SweepJournal.completed_in(path) == {KEY_A}  # no close needed
+    journal.close()
+
+
+def test_read_entries_on_missing_file_is_empty():
+    assert SweepJournal.read_entries("/no/such/journal.jsonl") == []
+    assert SweepJournal.completed_in("/no/such/journal.jsonl") == frozenset()
+
+
+def test_read_entries_skips_non_object_lines(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    path.write_text(
+        json.dumps({"status": "done", "key": KEY_A, "source": "run"})
+        + "\n[1, 2]\n\nnot json at all\n"
+    )
+    entries = SweepJournal.read_entries(path)
+    assert len(entries) == 1
+    assert entries[0]["key"] == KEY_A
+
+
+def test_opening_never_creates_the_file_until_first_record(tmp_path):
+    path = tmp_path / "sub" / "journal.jsonl"
+    journal = SweepJournal(path)
+    assert not path.exists()  # lazy, like the cache directory
+    journal.record_done(KEY_A, "run")
+    assert path.exists()
+    journal.close()

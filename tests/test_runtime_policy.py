@@ -1,0 +1,151 @@
+"""Tests for the retry policy: classification, attempt budget, backoff."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ExecutionError,
+    RunTimeoutError,
+    SimulationError,
+)
+from repro.runtime import (
+    PERMANENT,
+    PERMANENT_ERROR_TYPES,
+    TIMEOUT,
+    TRANSIENT,
+    RetryPolicy,
+)
+from repro.runtime.policy import error_lineage
+
+
+# ----------------------------------------------------------------------
+# Classification
+# ----------------------------------------------------------------------
+def test_deliberate_validation_errors_are_permanent():
+    policy = RetryPolicy()
+    assert policy.classify(ConfigurationError("bad p")) == PERMANENT
+    assert policy.classify(SimulationError("negative time")) == PERMANENT
+    assert policy.classify(TypeError("unexpected keyword")) == PERMANENT
+    assert policy.classify(ValueError("bad literal")) == PERMANENT
+
+
+def test_unclassified_errors_are_transient():
+    policy = RetryPolicy()
+    assert policy.classify(RuntimeError("worker blew up")) == TRANSIENT
+    assert policy.classify(OSError("pipe broke")) == TRANSIENT
+    assert policy.classify(MemoryError()) == TRANSIENT
+
+
+def test_timeouts_classify_as_timeout_not_permanent():
+    # RunTimeoutError derives from ExecutionError, which is not in the
+    # permanent set — a hung run might succeed on a fresh attempt.
+    policy = RetryPolicy()
+    assert policy.classify(RunTimeoutError("deadline")) == TIMEOUT
+    assert policy.should_retry(TIMEOUT, attempt=1)
+
+
+def test_subclasses_classify_through_the_mro():
+    class BadParameter(ValueError):
+        pass
+
+    policy = RetryPolicy()
+    assert policy.classify(BadParameter("p out of range")) == PERMANENT
+    assert "ValueError" in error_lineage(BadParameter("x"))
+
+
+def test_classify_accepts_a_lineage_tuple():
+    """Worker failures cross the process boundary as name tuples."""
+    policy = RetryPolicy()
+    assert policy.classify(("ConfigurationError", "ReproError", "Exception")) == PERMANENT
+    assert policy.classify(("WorkerDied",)) == TRANSIENT
+    assert (
+        policy.classify(("RunTimeoutError", "ExecutionError", "ReproError", "Exception"))
+        == TIMEOUT
+    )
+
+
+def test_error_lineage_walks_mro_without_object():
+    lineage = error_lineage(ConfigurationError("x"))
+    assert lineage[0] == "ConfigurationError"
+    assert "ReproError" in lineage
+    assert "object" not in lineage
+
+
+def test_custom_permanent_types_override_the_default():
+    policy = RetryPolicy(permanent_types=frozenset({"RuntimeError"}))
+    assert policy.classify(RuntimeError("now deterministic")) == PERMANENT
+    assert policy.classify(ConfigurationError("now transient")) == TRANSIENT
+
+
+def test_default_permanent_set_covers_repro_and_python_errors():
+    assert "ConfigurationError" in PERMANENT_ERROR_TYPES
+    assert "TypeError" in PERMANENT_ERROR_TYPES
+    assert "RuntimeError" not in PERMANENT_ERROR_TYPES
+    assert "ExecutionError" not in PERMANENT_ERROR_TYPES
+
+
+# ----------------------------------------------------------------------
+# Attempt budget
+# ----------------------------------------------------------------------
+def test_permanent_errors_never_retry():
+    policy = RetryPolicy(max_attempts=5)
+    assert not policy.should_retry(PERMANENT, attempt=1)
+
+
+def test_transient_errors_retry_up_to_max_attempts():
+    policy = RetryPolicy(max_attempts=3)
+    assert policy.should_retry(TRANSIENT, attempt=1)
+    assert policy.should_retry(TRANSIENT, attempt=2)
+    assert not policy.should_retry(TRANSIENT, attempt=3)
+
+
+def test_single_attempt_policy_never_retries():
+    policy = RetryPolicy(max_attempts=1)
+    assert not policy.should_retry(TRANSIENT, attempt=1)
+    assert not policy.should_retry(TIMEOUT, attempt=1)
+
+
+# ----------------------------------------------------------------------
+# Backoff
+# ----------------------------------------------------------------------
+def test_backoff_is_exponential_and_capped():
+    policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_max=0.5, jitter=0.0)
+    assert policy.backoff(1) == pytest.approx(0.1)
+    assert policy.backoff(2) == pytest.approx(0.2)
+    assert policy.backoff(3) == pytest.approx(0.4)
+    assert policy.backoff(4) == pytest.approx(0.5)  # capped
+    assert policy.backoff(10) == pytest.approx(0.5)
+
+
+def test_backoff_jitter_is_deterministic_and_bounded():
+    policy = RetryPolicy(backoff_base=1.0, backoff_factor=1.0, jitter=0.25)
+    a = policy.backoff(1, key="run-a")
+    b = policy.backoff(1, key="run-b")
+    # Reproducible per (key, attempt)...
+    assert a == policy.backoff(1, key="run-a")
+    # ...de-correlated across keys...
+    assert a != b
+    # ...and bounded by the jitter fraction.
+    for delay in (a, b):
+        assert 1.0 <= delay <= 1.25
+
+
+def test_backoff_attempt_is_one_based():
+    with pytest.raises(ConfigurationError):
+        RetryPolicy().backoff(0)
+
+
+def test_policy_validates_its_parameters():
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(backoff_base=-1.0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(jitter=1.5)
+
+
+def test_timeout_error_is_an_execution_error():
+    # So callers that catch ExecutionError keep catching deadline kills.
+    assert issubclass(RunTimeoutError, ExecutionError)
