@@ -3,7 +3,7 @@
 from .chip import Chip, Core
 from .cstates import CState, CStateParams, IdlePiece, ResidencyCounter, exit_latency, idle_profile
 from .dvfs import DvfsTable, OperatingPoint, step_size, xeon_e5520_table
-from .power import PowerModel, PowerParams
+from .power import PowerCoefficients, PowerModel, PowerParams
 from .tcc import TCC_OFF, TccSetting, setpoints
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "DvfsTable",
     "IdlePiece",
     "OperatingPoint",
+    "PowerCoefficients",
     "PowerModel",
     "PowerParams",
     "ResidencyCounter",

@@ -17,15 +17,17 @@ the machine can split its thermal integration at promotion instants.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..telemetry.registry import registry as _metrics_registry
 from .cstates import CState, CStateParams, ResidencyCounter, exit_latency
 from .dvfs import DvfsTable, OperatingPoint, xeon_e5520_table
-from .power import PowerModel, PowerParams
+from .power import PowerCoefficients, PowerModel, PowerParams
 from .tcc import TCC_OFF, TccSetting
 
 
@@ -62,6 +64,9 @@ class Core:
     #: injection.
     operating_point_override: Optional[OperatingPoint] = None
     residency: ResidencyCounter = field(default_factory=ResidencyCounter)
+    #: Bumped on every run/idle transition; :attr:`Chip.state_epoch`
+    #: folds these in so power-coefficient segments know when to expire.
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         if self.smt < 1:
@@ -111,6 +116,7 @@ class Core:
         self.context_threads[context] = thread
         self.context_activity[context] = activity
         self.context_hinted[context] = False
+        self.epoch += 1
 
     def set_context_idle(self, context: int, now: float, *, hinted: bool = False) -> None:
         """Mark one hardware context idle starting at ``now``.
@@ -124,6 +130,7 @@ class Core:
         self.context_threads[context] = None
         self.context_activity[context] = 0.0
         self.context_hinted[context] = hinted
+        self.epoch += 1
         if not self.running:
             self.idle_since = now
             params = self.cstate_params
@@ -155,11 +162,18 @@ class Core:
     # C-state queries
     # ------------------------------------------------------------------
     def cstate_at(self, time: float) -> CState:
-        """C-state of this core at absolute time ``time``."""
+        """C-state of this core at absolute time ``time``.
+
+        The comparison uses the exact float value
+        :meth:`promotion_time` returns, so classification and the
+        promotion instant agree to the ulp — the chip's segment cache
+        bounds a coefficient set's validity by that instant, and a
+        mismatched rounding (``time - idle_since`` vs ``idle_since +
+        threshold``) would let a stale segment straddle the promotion.
+        """
         if self.running:
             return CState.C0
-        idle_for = time - self.idle_since
-        return CState.C1 if idle_for < self.idle_threshold else CState.C1E
+        return CState.C1 if time < self.idle_since + self.idle_threshold else CState.C1E
 
     def promotion_time(self) -> Optional[float]:
         """Absolute time this core will be promoted to C1E, if idle."""
@@ -172,6 +186,19 @@ class Core:
         if self.running:
             return 0.0
         return exit_latency(self.cstate_at(now), self.cstate_params)
+
+
+@dataclass
+class _CoefficientSegment:
+    """One cached power-coefficient set and its validity window."""
+
+    epoch: int
+    #: Evaluation time the segment was built at.
+    time: float
+    #: First promotion instant after ``time`` (exclusive upper bound).
+    valid_until: float
+    cstates: Tuple[CState, ...]
+    coefficients: PowerCoefficients
 
 
 class Chip:
@@ -205,17 +232,37 @@ class Chip:
             Core(index=i, cstate_params=self.cstate_params, smt=smt)
             for i in range(num_cores)
         ]
+        #: Chip-wide contribution to :attr:`state_epoch` (DVFS/TCC).
+        self._epoch = 0
+        #: The most recent power segment (see :meth:`power_segment`).
+        self._segment: Optional[_CoefficientSegment] = None
+        scope = _metrics_registry().scope("cpu.chip")
+        self._metric_segment_rebuilds = scope.counter("power_segments.rebuilds")
+        self._metric_segment_reuses = scope.counter("power_segments.reuses")
 
     # ------------------------------------------------------------------
     @property
     def num_cores(self) -> int:
         return len(self.cores)
 
+    @property
+    def state_epoch(self) -> int:
+        """Monotone counter over every power-relevant state change.
+
+        Covers per-context run/idle transitions, chip-wide and per-core
+        DVFS changes, and TCC reprogramming.  Two calls returning the
+        same value guarantee the chip's power decomposition (for fixed
+        C-states) is unchanged, which is what lets
+        :meth:`power_segment` reuse coefficient sets across event gaps.
+        """
+        return self._epoch + sum(core.epoch for core in self.cores)
+
     def set_operating_point(self, point: OperatingPoint) -> None:
         """Select a DVFS operating point (chip-wide, like the paper's)."""
         if point not in self.dvfs_table.points:
             raise ConfigurationError(f"unsupported operating point {point}")
         self.operating_point = point
+        self._epoch += 1
 
     def set_core_operating_point(
         self, core_index: int, point: Optional[OperatingPoint]
@@ -229,6 +276,7 @@ class Chip:
         if point is not None and point not in self.dvfs_table.points:
             raise ConfigurationError(f"unsupported operating point {point}")
         self.cores[core_index].operating_point_override = point
+        self._epoch += 1
 
     def point_for(self, core: Core) -> OperatingPoint:
         """The operating point currently governing ``core``."""
@@ -237,6 +285,7 @@ class Chip:
     def set_tcc(self, setting: TccSetting) -> None:
         """Program the thermal control circuit duty cycle (chip-wide)."""
         self.tcc = setting
+        self._epoch += 1
 
     def core_activity(self, core: Core) -> float:
         """Effective switching activity of a core for the power model.
@@ -320,9 +369,82 @@ class Chip:
 
     def power_function(self, time: float):
         """A power callback (temps -> node powers) valid while no core
-        changes state; C-states are frozen as of ``time``."""
+        changes state; C-states are frozen as of ``time``.
+
+        This is the scalar reference oracle; the simulation hot path
+        uses :meth:`power_segment` + the fused integrator instead.
+        """
         cstates = [self.effective_cstate(core, time) for core in self.cores]
         return cstates, (lambda temps: self.power_vector(cstates, temps))
+
+    def power_coefficients(self, cstates: Sequence[CState]) -> PowerCoefficients:
+        """Vectorized decomposition of :meth:`power_vector` for frozen
+        per-core C-states: per-node ``base``/``leak_coef`` arrays plus
+        the shared leakage-exponential constants, covering DVFS
+        overrides, TCC, SMT activity scaling, and the uncore term."""
+        n = self.num_cores
+        base = np.zeros(n + 2)
+        leak_coef = np.zeros(n + 2)
+        model = self.power_model
+        for i, core in enumerate(self.cores):
+            base[i], leak_coef[i] = model.core_coefficients(
+                cstates[i],
+                self.point_for(core),
+                activity=self.core_activity(core),
+                tcc=self.tcc,
+            )
+        base[n] = model.params.uncore_power
+        params = model.params
+        return PowerCoefficients(
+            base=base,
+            leak_coef=leak_coef,
+            leak_ref_temp=params.leak_ref_temp,
+            leak_t_slope=params.leak_t_slope,
+            leak_exp_cap=params.leak_exp_cap,
+        )
+
+    def next_cstate_change(self, after: float) -> float:
+        """Earliest instant strictly after ``after`` at which any core's
+        effective C-state changes by promotion alone (``inf`` if none).
+        Run/idle transitions are covered by :attr:`state_epoch` instead."""
+        if not self.c1e_enabled:
+            return math.inf
+        horizon = math.inf
+        for core in self.cores:
+            promo = core.promotion_time()
+            if promo is not None and after < promo < horizon:
+                horizon = promo
+        return horizon
+
+    def power_segment(self, time: float) -> Tuple[Tuple[CState, ...], PowerCoefficients]:
+        """Frozen C-states and power coefficients in effect at ``time``.
+
+        Reuses the previously built coefficient set when no
+        power-relevant state changed (same :attr:`state_epoch`) and no
+        C-state promotion instant separates the two evaluation times —
+        the common case between scheduler events, where the old path
+        rebuilt C-state lists and power closures from scratch.
+        """
+        epoch = self.state_epoch
+        segment = self._segment
+        if (
+            segment is not None
+            and segment.epoch == epoch
+            and segment.time <= time < segment.valid_until
+        ):
+            self._metric_segment_reuses.inc()
+            return segment.cstates, segment.coefficients
+        cstates = tuple(self.effective_cstate(core, time) for core in self.cores)
+        coefficients = self.power_coefficients(cstates)
+        self._segment = _CoefficientSegment(
+            epoch=epoch,
+            time=time,
+            valid_until=self.next_cstate_change(time),
+            cstates=cstates,
+            coefficients=coefficients,
+        )
+        self._metric_segment_rebuilds.inc()
+        return cstates, coefficients
 
     def record_residency(self, cstates: Sequence[CState], duration: float) -> None:
         """Accumulate per-core residency for an integrated piece."""

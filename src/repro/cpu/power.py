@@ -20,6 +20,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
 
 from ..errors import ConfigurationError
 from .cstates import CState
@@ -89,6 +92,76 @@ class PowerParams:
         return replace(self, leak_t_slope=slope)
 
 
+@dataclass
+class PowerCoefficients:
+    """Segment-constant affine-exponential decomposition of node power.
+
+    For frozen per-core execution states the power of every thermal
+    node is an affine function of the node's own leakage exponential:
+
+        P(T) = base + leak_coef * exp(min((T - leak_ref_temp) / leak_t_slope,
+                                          leak_exp_cap))
+
+    evaluated elementwise over the node vector with NumPy.  This is the
+    vectorized fast path's contract: :meth:`evaluate` must agree with
+    the scalar :meth:`Chip.power_vector` reference to within float
+    rounding (the tests pin ≤1e-12 W per node).  Nodes without leakage
+    (spreader, sink) simply carry ``leak_coef = 0``.
+    """
+
+    #: Temperature-independent power per node, W.
+    base: np.ndarray
+    #: Leakage prefactor per node, W (already scaled for voltage and,
+    #: in C1E, the deep-idle leakage factor).
+    leak_coef: np.ndarray
+    #: Reference temperature of the leakage exponential, °C.
+    leak_ref_temp: float
+    #: Temperature increase for leakage to grow by factor e, °C.
+    leak_t_slope: float
+    #: Cap on the leakage exponential's argument.
+    leak_exp_cap: float
+    #: Lazily computed terms for the integrator's folded inner loop.
+    _fused: Optional[Tuple[float, float, np.ndarray]] = None
+
+    def fused_terms(self) -> Tuple[float, float, np.ndarray]:
+        """``(inv_slope, arg_cap, scaled_coef)`` for the folded form
+
+            P(T) = base + scaled_coef * exp(min(T * inv_slope, arg_cap))
+
+        which equals :meth:`evaluate` with the reference temperature
+        folded into the prefactor (``scaled_coef = leak_coef *
+        exp(-ref/slope)``, ``arg_cap = cap + ref/slope``) — one fewer
+        array op per substep and the cap still bounds the exponential's
+        argument before ``exp`` runs.  Computed once per coefficient
+        set; the chip's segment cache makes that once per power state.
+        """
+        if self._fused is None:
+            inv_slope = 1.0 / self.leak_t_slope
+            shift = self.leak_ref_temp / self.leak_t_slope
+            self._fused = (
+                inv_slope,
+                self.leak_exp_cap + shift,
+                self.leak_coef * math.exp(-shift),
+            )
+        return self._fused
+
+    def evaluate(self, temps: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Node power vector at ``temps``, written into ``out`` if given.
+
+        Allocation-free when ``out`` is supplied — the fused integrator
+        calls this once per substep with a preallocated buffer.
+        """
+        if out is None:
+            out = np.empty_like(self.base)
+        np.subtract(temps, self.leak_ref_temp, out=out)
+        out /= self.leak_t_slope
+        np.minimum(out, self.leak_exp_cap, out=out)
+        np.exp(out, out=out)
+        out *= self.leak_coef
+        out += self.base
+        return out
+
+
 class PowerModel:
     """Computes per-core and package power from state and temperature."""
 
@@ -138,6 +211,31 @@ class PowerModel:
             return residual + self.leakage(temp, point)
         if state is CState.C1E:
             return p.c1e_leakage_factor * self.leakage(temp, point)
+        raise ConfigurationError(f"unknown C-state {state!r}")
+
+    def core_coefficients(
+        self,
+        state: CState,
+        point: OperatingPoint,
+        *,
+        activity: float = 1.0,
+        tcc: TccSetting = TCC_OFF,
+    ) -> Tuple[float, float]:
+        """``(base, leak_coef)`` such that the core's power at ``temp``
+        is ``base + leak_coef * exp(min((temp - ref) / slope, cap))``.
+
+        The decomposition mirrors :meth:`core_power` term for term so
+        the vectorized path reproduces the scalar model exactly.
+        """
+        p = self.params
+        leak = p.core_leakage_ref * self.dvfs.leakage_scale(point)
+        if state is CState.C0:
+            return self.dynamic(activity, point, tcc), leak
+        if state is CState.C1:
+            residual = p.core_dynamic_max * p.c1_dynamic_fraction * self.dvfs.dynamic_scale(point)
+            return residual, leak
+        if state is CState.C1E:
+            return 0.0, leak * p.c1e_leakage_factor
         raise ConfigurationError(f"unknown C-state {state!r}")
 
     # ------------------------------------------------------------------

@@ -41,9 +41,15 @@ class Machine:
         *,
         idle_mode: IdleMode = IdleMode.HALT,
         co_schedule_smt: bool = False,
+        fast_physics: bool = True,
     ):
         self.config = config or ExperimentConfig()
         cfg = self.config
+        #: Integrate thermals via the fused vectorized kernel (default)
+        #: or the scalar power-callback reference path.  The two are
+        #: numerically equivalent (tests pin end-to-end agreement to
+        #: 1e-9 °C); the scalar path exists as the oracle.
+        self.fast_physics = fast_physics
 
         self.sim = Simulator()
         self.rng = RngRegistry(cfg.seed)
@@ -114,17 +120,27 @@ class Machine:
     # ------------------------------------------------------------------
     def _advance_physics(self, t0: float, t1: float) -> None:
         """Integrate thermals over [t0, t1], splitting at C-state edges."""
-        edges = [t0] + self.chip.cstate_breakpoints(t0, t1) + [t1]
+        chip = self.chip
+        integrator = self.integrator
+        powermeter = self.powermeter
+        edges = [t0] + chip.cstate_breakpoints(t0, t1) + [t1]
+        fast = self.fast_physics
         for a, b in zip(edges, edges[1:]):
             if b <= a:
                 continue
             # Evaluate C-states at the piece midpoint: a piece boundary
             # sits exactly on a promotion instant, where float roundoff
             # on the comparison could misclassify the whole piece.
-            cstates, power_fn = self.chip.power_function(time=0.5 * (a + b))
-            result = self.integrator.advance(b - a, power_fn)
-            self.chip.record_residency(cstates, b - a)
-            self.powermeter.record_segment(a, b - a, result.average_power)
+            if fast:
+                # Segment-reusing fused path: coefficient sets survive
+                # across event gaps while no core/DVFS/TCC state changes.
+                cstates, coefficients = chip.power_segment(0.5 * (a + b))
+                result = integrator.advance_coefficients(b - a, coefficients)
+            else:
+                cstates, power_fn = chip.power_function(time=0.5 * (a + b))
+                result = integrator.advance(b - a, power_fn)
+            chip.record_residency(cstates, b - a)
+            powermeter.record_segment(a, b - a, result.average_power)
 
     # ------------------------------------------------------------------
     # Running

@@ -5,17 +5,25 @@ module and reports averages over trailing windows (e.g. "the average
 temperature over the last 30 seconds of a 300 second execution",
 §3.4).  :class:`TemperatureLog` samples a reader callback at a fixed
 period and provides exactly those window statistics.
+
+Samples land in a geometrically grown NumPy buffer (amortised O(1) per
+sample, no per-sample Python list append), and trailing-window means
+are cached between samples — a controller polling the same window many
+times per sample period pays for the masked reduction once.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..errors import AnalysisError
 from ..sim.engine import Simulator
 from ..sim.process import PeriodicTask
+
+#: Initial sample-buffer capacity; doubles when full.
+_INITIAL_CAPACITY = 64
 
 
 class TemperatureLog:
@@ -39,16 +47,39 @@ class TemperatureLog:
         self.num_cores = num_cores
         self._sim = sim
         self._reader = reader
-        self._times: List[float] = []
-        self._samples: List[np.ndarray] = []
+        self._count = 0
+        self._time_buffer = np.empty(0)
+        self._sample_buffer: Optional[np.ndarray] = None
+        #: (window, end) -> per-core mean; cleared whenever a sample lands.
+        self._window_cache: Dict[Tuple[float, Optional[float]], np.ndarray] = {}
         self._task = PeriodicTask(sim, period, self._sample, phase=0.0)
 
     def _sample(self) -> None:
         sample = np.asarray(self._reader(), dtype=float)
+        width = int(sample.shape[0])
         if self.num_cores is None:
-            self.num_cores = int(sample.shape[0])
-        self._times.append(self._sim.now)
-        self._samples.append(sample)
+            self.num_cores = width
+        elif width != self.num_cores:
+            raise AnalysisError(
+                f"ragged temperature sample: got {width} entries, "
+                f"log is {self.num_cores} wide"
+            )
+        if self._sample_buffer is None or self._count == self._time_buffer.shape[0]:
+            self._grow()
+        self._time_buffer[self._count] = self._sim.now
+        self._sample_buffer[self._count] = sample
+        self._count += 1
+        self._window_cache.clear()
+
+    def _grow(self) -> None:
+        capacity = max(_INITIAL_CAPACITY, 2 * self._count)
+        times = np.empty(capacity)
+        samples = np.empty((capacity, self.num_cores))
+        if self._count:
+            times[: self._count] = self._time_buffer[: self._count]
+            samples[: self._count] = self._sample_buffer[: self._count]
+        self._time_buffer = times
+        self._sample_buffer = samples
 
     def stop(self) -> None:
         self._task.cancel()
@@ -56,7 +87,7 @@ class TemperatureLog:
     # ------------------------------------------------------------------
     @property
     def times(self) -> np.ndarray:
-        return np.asarray(self._times)
+        return self._time_buffer[: self._count].copy()
 
     @property
     def samples(self) -> np.ndarray:
@@ -66,19 +97,18 @@ class TemperatureLog:
         is known, so per-core slicing fails loudly (below) rather than
         with a bare IndexError on a ``(0, 0)`` array.
         """
-        if not self._samples:
+        if self._count == 0:
             return np.empty((0, self.num_cores or 0))
-        return np.vstack(self._samples)
+        return self._sample_buffer[: self._count].copy()
 
     def core_series(self, core: int) -> np.ndarray:
-        samples = self.samples
-        if samples.shape[0] == 0:
+        if self._count == 0:
             raise AnalysisError("no temperature samples recorded")
-        if not 0 <= core < samples.shape[1]:
+        if not 0 <= core < self.num_cores:
             raise AnalysisError(
-                f"core {core} out of range (log covers {samples.shape[1]} cores)"
+                f"core {core} out of range (log covers {self.num_cores} cores)"
             )
-        return samples[:, core]
+        return self._sample_buffer[: self._count, core].copy()
 
     def mean_over_window(self, window: float, *, end: Optional[float] = None) -> float:
         """Mean of all cores' readings over the trailing ``window`` s."""
@@ -88,13 +118,19 @@ class TemperatureLog:
     def per_core_mean_over_window(
         self, window: float, *, end: Optional[float] = None
     ) -> np.ndarray:
-        times = self.times
-        if times.size == 0:
+        if self._count == 0:
             raise AnalysisError("no temperature samples recorded")
+        key = (float(window), None if end is None else float(end))
+        cached = self._window_cache.get(key)
+        if cached is not None:
+            return cached.copy()
+        times = self._time_buffer[: self._count]
         end_time = float(times[-1]) if end is None else end
         mask = (times >= end_time - window) & (times <= end_time)
         if not np.any(mask):
             raise AnalysisError(
                 f"no samples in the trailing {window}s window ending at {end_time}s"
             )
-        return self.samples[mask].mean(axis=0)
+        result = self._sample_buffer[: self._count][mask].mean(axis=0)
+        self._window_cache[key] = result
+        return result.copy()

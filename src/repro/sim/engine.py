@@ -149,14 +149,9 @@ class Simulator:
         """
         while self._heap:
             entry = heapq.heappop(self._heap)
-            event = entry.event
-            if event.cancelled:
+            if entry.event.cancelled:
                 continue
-            self._advance_clock(event.time)
-            event.dispatched = True
-            self._event_count += 1
-            self._metric_events.inc()
-            event.callback(*event.args)
+            self._dispatch(entry.event)
             return True
         return False
 
@@ -166,19 +161,27 @@ class Simulator:
         If ``until`` is given, all events with ``time <= until`` are
         dispatched and the clock is left exactly at ``until`` (advance
         listeners see the final partial interval too).
+
+        Each dispatched event costs exactly one ``heappop``: the loop
+        inspects the heap head in place instead of going through
+        :meth:`peek_next_time` (which pops cancelled entries) and then
+        popping again in :meth:`step`.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         try:
             with self._metric_run_wall.time():
-                while True:
-                    next_time = self.peek_next_time()
-                    if next_time is None:
+                heap = self._heap
+                while heap:
+                    entry = heap[0]
+                    if entry.event.cancelled:
+                        heapq.heappop(heap)
+                        continue
+                    if until is not None and entry.time > until:
                         break
-                    if until is not None and next_time > until:
-                        break
-                    self.step()
+                    heapq.heappop(heap)
+                    self._dispatch(entry.event)
                 if until is not None:
                     if until < self._now:
                         raise SimulationError(
@@ -191,6 +194,14 @@ class Simulator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _dispatch(self, event: Event) -> None:
+        """Advance the clock to an event (already popped) and fire it."""
+        self._advance_clock(event.time)
+        event.dispatched = True
+        self._event_count += 1
+        self._metric_events.inc()
+        event.callback(*event.args)
+
     def _advance_clock(self, new_time: float) -> None:
         if new_time < self._now:
             raise SimulationError("clock went backwards")

@@ -22,15 +22,29 @@ is advanced exactly:
 
 This is unconditionally stable, exact for constant power, and the only
 error source is the leakage lag over one substep (second order in
-``h``).  Matrix exponentials are cached per distinct ``h``; segments in
-the scheduler simulation reuse a small set of substep lengths, so the
-cache hit rate is essentially 100% after warm-up.
+``h``).  Step kernels — the matrix exponential together with its
+power-injection and ambient companions — are cached per distinct ``h``
+in a bounded LRU (segments in the scheduler simulation reuse a small
+set of substep lengths, so the hit rate is essentially 100% after
+warm-up; the bound protects sweeps with pathological substep
+diversity).  Hit/miss/eviction counts are published on the
+``thermal.rcnetwork`` telemetry scope.
+
+The integrator has two equivalent paths:
+
+- :meth:`ThermalIntegrator.advance` — the scalar reference oracle: a
+  Python power callback re-evaluated per substep plus a
+  ``steady_state`` solve.
+- :meth:`ThermalIntegrator.advance_coefficients` — the fused fast
+  path: per substep one gemv pair plus one vectorized exponential into
+  preallocated buffers, no allocation and no per-core Python work.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 from scipy.linalg import expm
@@ -38,8 +52,34 @@ from scipy.linalg import expm
 from ..errors import ConfigurationError
 from ..telemetry.registry import registry as _metrics_registry
 
+if TYPE_CHECKING:  # the integrator only needs its .evaluate() protocol
+    from ..cpu.power import PowerCoefficients
+
 #: Power callback: maps node temperatures (°C) to node power inputs (W).
 PowerFunction = Callable[[np.ndarray], np.ndarray]
+
+
+class StepKernel(NamedTuple):
+    """Precomputed linear-system kernel for one substep length ``h``.
+
+    Advancing the network by ``h`` under a frozen power vector ``P`` is
+
+        T(t+h) = propagator @ T(t) + inject @ P + ambient_shift
+
+    which is algebraically identical to the steady-state form
+    ``T_ss + E(h) (T - T_ss)`` with ``T_ss = T_amb·1 + L⁻¹ P``:
+    ``inject = (I − E(h)) L⁻¹`` and ``ambient_shift = (I − E(h)) T_amb·1``.
+
+    ``fused`` is the three blocks stacked as one ``(n, 2n+1)`` matrix
+    ``[propagator | inject | ambient_shift]`` so the whole update is a
+    single gemv against the stacked state vector ``[T, P, 1]`` — the
+    fused integrator's inner loop lives on this.
+    """
+
+    propagator: np.ndarray
+    inject: np.ndarray
+    ambient_shift: np.ndarray
+    fused: np.ndarray
 
 
 class ThermalNetwork:
@@ -59,6 +99,9 @@ class ThermalNetwork:
         Ambient temperature, °C.
     node_names:
         Optional human-readable node labels (defaults to ``node{i}``).
+    expm_cache_size:
+        Maximum number of distinct substep lengths whose step kernels
+        are kept (LRU eviction).  Must be at least 1.
     """
 
     def __init__(
@@ -68,6 +111,7 @@ class ThermalNetwork:
         ambient_conductances: Sequence[float],
         ambient_temp: float,
         node_names: Optional[Sequence[str]] = None,
+        expm_cache_size: int = 64,
     ):
         self.capacitances = np.asarray(capacitances, dtype=float)
         n = self.capacitances.shape[0]
@@ -106,7 +150,14 @@ class ThermalNetwork:
         self._laplacian = off + np.diag(diag)
         self._a_matrix = -self._laplacian / self.capacitances[:, None]
         self._laplacian_inv = np.linalg.inv(self._laplacian)
-        self._expm_cache: Dict[float, np.ndarray] = {}
+        if expm_cache_size < 1:
+            raise ConfigurationError("expm_cache_size must be at least 1")
+        self._expm_cache_size = int(expm_cache_size)
+        self._expm_cache: "OrderedDict[float, StepKernel]" = OrderedDict()
+        scope = _metrics_registry().scope("thermal.rcnetwork")
+        self._metric_cache_hits = scope.counter("expm_cache.hits")
+        self._metric_cache_misses = scope.counter("expm_cache.misses")
+        self._metric_cache_evictions = scope.counter("expm_cache.evictions")
 
     # ------------------------------------------------------------------
     @property
@@ -136,13 +187,43 @@ class ThermalNetwork:
         return np.sort(-1.0 / np.real(eigvals))
 
     def propagator(self, h: float) -> np.ndarray:
-        """``expm(A h)`` with caching on the (rounded) step length."""
+        """``expm(A h)`` with LRU caching on the (rounded) step length."""
+        return self.step_kernel(h).propagator
+
+    def step_kernel(self, h: float) -> StepKernel:
+        """The fused substep kernel for step length ``h`` (LRU-cached).
+
+        One entry per distinct rounded ``h`` holds ``E(h)`` together
+        with the power-injection matrix and ambient shift, so both the
+        scalar and the fused integration paths share the same cache.
+        """
         key = round(float(h), 9)
-        cached = self._expm_cache.get(key)
-        if cached is None:
-            cached = expm(self._a_matrix * key)
-            self._expm_cache[key] = cached
-        return cached
+        kernel = self._expm_cache.get(key)
+        if kernel is not None:
+            self._expm_cache.move_to_end(key)
+            self._metric_cache_hits.inc()
+            return kernel
+        self._metric_cache_misses.inc()
+        propagator = expm(self._a_matrix * key)
+        complement = np.eye(self.num_nodes) - propagator
+        inject = complement @ self._laplacian_inv
+        ambient_shift = complement @ np.full(self.num_nodes, self.ambient_temp)
+        kernel = StepKernel(
+            propagator=propagator,
+            inject=inject,
+            ambient_shift=ambient_shift,
+            fused=np.hstack([propagator, inject, ambient_shift[:, None]]),
+        )
+        self._expm_cache[key] = kernel
+        if len(self._expm_cache) > self._expm_cache_size:
+            self._expm_cache.popitem(last=False)
+            self._metric_cache_evictions.inc()
+        return kernel
+
+    @property
+    def expm_cache_len(self) -> int:
+        """Number of step kernels currently cached."""
+        return len(self._expm_cache)
 
 
 @dataclass
@@ -177,12 +258,24 @@ class ThermalIntegrator:
         scope = _metrics_registry().scope("thermal.rcnetwork")
         self._metric_advances = scope.counter("advances")
         self._metric_substeps = scope.counter("substeps")
+        self._metric_fused_advances = scope.counter("fused_advances")
         if initial_temps is None:
             self.temps = np.full(network.num_nodes, network.ambient_temp, dtype=float)
         else:
             self.temps = np.array(initial_temps, dtype=float)
             if self.temps.shape != (network.num_nodes,):
                 raise ConfigurationError("initial temperature vector has wrong length")
+        # Preallocated work vectors for the fused path.  The stacked
+        # state buffers hold [T, P, 1]; one substep writes P into the
+        # middle block and new temperatures into the partner buffer's
+        # head block via a single gemv, with zero allocations.
+        n = network.num_nodes
+        self._power_buffer = np.empty(n)
+        self._energy_buffer = np.empty(n)
+        self._state_a = np.zeros(2 * n + 1)
+        self._state_b = np.zeros(2 * n + 1)
+        self._state_a[2 * n] = 1.0
+        self._state_b[2 * n] = 1.0
 
     def advance(self, duration: float, power_fn: PowerFunction) -> AdvanceResult:
         """Integrate forward by ``duration`` seconds.
@@ -199,7 +292,6 @@ class ThermalIntegrator:
             return AdvanceResult(energy=0.0, average_power=float(power.sum()))
 
         network = self.network
-        remaining = duration
         energy = 0.0
         # Use a uniform substep: ceil(duration / max_substep) equal pieces.
         n_steps = max(1, int(np.ceil(duration / self.max_substep - 1e-12)))
@@ -213,8 +305,60 @@ class ThermalIntegrator:
             energy += float(power.sum()) * h
             t_ss = network.steady_state(power)
             temps = t_ss + propagator @ (temps - t_ss)
-            remaining -= h
         self.temps = temps
+        return AdvanceResult(energy=energy, average_power=energy / duration)
+
+    def advance_coefficients(
+        self, duration: float, coefficients: "PowerCoefficients"
+    ) -> AdvanceResult:
+        """Integrate forward by ``duration`` seconds on the fused path.
+
+        ``coefficients`` is a segment-constant affine-exponential power
+        decomposition (:class:`repro.cpu.power.PowerCoefficients`, or
+        anything with its ``evaluate``/``fused_terms`` contract).  Per
+        substep this costs the folded leakage chain (multiply, clip,
+        exp, multiply, add) plus one gemv of the stacked kernel against
+        the ``[T, P, 1]`` state buffer — no Python per-core loop, no
+        ``steady_state`` solve, no allocation.  Energy is accumulated
+        vectorially per node and reduced once at the end.  Numerically
+        equivalent to :meth:`advance` with the matching power callback
+        (same propagator, algebraically identical update).
+        """
+        if duration < 0:
+            raise ConfigurationError(f"cannot integrate a negative duration {duration}")
+        if duration == 0:
+            power = coefficients.evaluate(self.temps, out=self._power_buffer)
+            return AdvanceResult(energy=0.0, average_power=float(power.sum()))
+
+        n_steps = max(1, int(np.ceil(duration / self.max_substep - 1e-12)))
+        h = duration / n_steps
+        self._metric_advances.inc()
+        self._metric_substeps.inc(n_steps)
+        self._metric_fused_advances.inc()
+        fused = self.network.step_kernel(h).fused
+        inv_slope, arg_cap, scaled_coef = coefficients.fused_terms()
+        base = coefficients.base
+        n = self.temps.shape[0]
+        state, other = self._state_a, self._state_b
+        s_temps, s_power = state[:n], state[n : 2 * n]
+        o_temps, o_power = other[:n], other[n : 2 * n]
+        s_temps[:] = self.temps
+        acc = self._energy_buffer
+        acc.fill(0.0)
+        multiply, minimum, add, vexp, dot = np.multiply, np.minimum, np.add, np.exp, np.dot
+        for _ in range(n_steps):
+            # P = base + scaled_coef * exp(min(T / slope, capped arg))
+            multiply(s_temps, inv_slope, out=s_power)
+            minimum(s_power, arg_cap, out=s_power)
+            vexp(s_power, out=s_power)
+            multiply(s_power, scaled_coef, out=s_power)
+            add(s_power, base, out=s_power)
+            add(acc, s_power, out=acc)
+            dot(fused, state, out=o_temps)
+            state, other = other, state
+            s_temps, s_power, o_temps, o_power = o_temps, o_power, s_temps, s_power
+        self.temps = s_temps.copy()
+        energy = float(acc.sum()) * h
         return AdvanceResult(energy=energy, average_power=energy / duration)
 
     def settle(

@@ -231,3 +231,44 @@ def test_summarize():
     assert summary["max"] == 3.0
     with pytest.raises(AnalysisError):
         summarize([])
+
+
+def test_templog_buffer_growth_past_initial_capacity():
+    """More samples than the initial buffer capacity (64): the log grows
+    geometrically and keeps every sample in order."""
+    sim = Simulator()
+    log = TemperatureLog(sim, lambda: np.array([sim.now, -sim.now]), period=1.0)
+    sim.run(until=199.0)
+    assert log.samples.shape == (200, 2)
+    assert np.array_equal(log.times, np.arange(200.0))
+    assert np.array_equal(log.core_series(0), np.arange(200.0))
+    assert np.array_equal(log.core_series(1), -np.arange(200.0))
+
+
+def test_templog_window_mean_cache_invalidated_by_new_samples():
+    sim = Simulator()
+    log = TemperatureLog(sim, lambda: np.array([sim.now]), period=1.0)
+    sim.run(until=5.0)
+    first = log.mean_over_window(2.0)  # samples at 3, 4, 5
+    assert first == pytest.approx(4.0)
+    # Repeated queries hit the cache and stay equal.
+    assert log.mean_over_window(2.0) == first
+    sim.run(until=7.0)
+    assert log.mean_over_window(2.0) == pytest.approx(6.0)
+
+
+def test_templog_cached_window_mean_is_a_copy():
+    sim = Simulator()
+    log = TemperatureLog(sim, lambda: np.array([1.0, 3.0]), period=1.0)
+    sim.run(until=4.0)
+    per_core = log.per_core_mean_over_window(2.0)
+    per_core[:] = 99.0  # mutating the returned array must not poison the cache
+    assert log.per_core_mean_over_window(2.0)[0] == pytest.approx(1.0)
+
+
+def test_templog_ragged_sample_raises_analysis_error():
+    sim = Simulator()
+    widths = iter([2, 2, 3])
+    log = TemperatureLog(sim, lambda: np.zeros(next(widths)), period=1.0)
+    with pytest.raises(AnalysisError, match="ragged"):
+        sim.run(until=2.0)

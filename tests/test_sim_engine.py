@@ -169,3 +169,42 @@ def test_peek_next_time_skips_cancelled():
     sim.schedule(2.0, lambda: None)
     event.cancel()
     assert sim.peek_next_time() == 2.0
+
+
+def test_run_pops_exactly_one_heap_entry_per_event():
+    """The run loop inspects the heap head in place: after a full run
+    the heap is drained and every live event was dispatched once."""
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    cancelled = sim.schedule(3.5, fired.append, "dead")
+    cancelled.cancel()
+    sim.run()
+    assert fired == list(range(10))
+    assert sim.event_count == 10
+    assert sim._heap == []
+
+
+def test_step_skips_cancelled_and_dispatches_next():
+    sim = Simulator()
+    fired = []
+    dead = sim.schedule(1.0, fired.append, "dead")
+    sim.schedule(1.0, fired.append, "live")
+    dead.cancel()
+    assert sim.step() is True
+    assert fired == ["live"]
+    # Only cancelled entries left -> step reports an empty queue.
+    sim.schedule(2.0, fired.append, "dead2").cancel()
+    assert sim.step() is False
+    assert fired == ["live"]
+
+
+def test_run_until_leaves_cancelled_future_events_unpopped():
+    sim = Simulator()
+    event = sim.schedule(10.0, lambda: None)
+    event.cancel()
+    sim.run(until=5.0)
+    # The cancelled entry sits beyond `until`; peek prunes it lazily.
+    assert sim.now == 5.0
+    assert sim.peek_next_time() is None

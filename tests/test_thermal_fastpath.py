@@ -1,0 +1,281 @@
+"""Equivalence and caching tests for the vectorized thermal/power path.
+
+The fast path has three layers, each pinned against its scalar oracle:
+
+- power: :meth:`Chip.power_coefficients` vs :meth:`Chip.power_vector`
+  (≤1e-12 W per node over randomized chip states);
+- integration: :meth:`ThermalIntegrator.advance_coefficients` vs
+  :meth:`ThermalIntegrator.advance` (≤1e-9 °C over long intervals);
+- simulation: ``Machine(fast_physics=True)`` vs the scalar machine over
+  a fig2-style 60 s run (≤1e-9 °C on every logged sample).
+
+Plus the supporting machinery: the bounded expm LRU, the chip's
+segment-reuse epoch logic, and their telemetry counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu.chip import Chip
+from repro.cpu.cstates import CState
+from repro.cpu.tcc import TCC_OFF, setpoints
+from repro.errors import ConfigurationError
+from repro.experiments import Machine, fast_config
+from repro.telemetry import isolated
+from repro.thermal.floorplan import build_network
+from repro.thermal.params import ThermalParams
+from repro.thermal.rcnetwork import ThermalIntegrator, ThermalNetwork
+from repro.workloads import CpuBurn
+
+POWER_TOL_W = 1e-12
+TEMP_TOL_C = 1e-9
+
+
+def _random_chip(rng: np.random.Generator) -> Chip:
+    """A chip in a random power-relevant state at t = 0."""
+    num_cores = int(rng.integers(1, 7))
+    smt = int(rng.integers(1, 3))
+    chip = Chip(num_cores=num_cores, smt=smt, c1e_enabled=bool(rng.integers(0, 2)))
+
+    # Chip-wide DVFS, random per-core overrides, random TCC duty.
+    points = chip.dvfs_table.points
+    chip.set_operating_point(points[int(rng.integers(0, len(points)))])
+    for i in range(num_cores):
+        if rng.random() < 0.3:
+            chip.set_core_operating_point(i, points[int(rng.integers(0, len(points)))])
+    if rng.random() < 0.5:
+        ladder = setpoints(8)
+        chip.set_tcc(ladder[int(rng.integers(0, len(ladder)))])
+
+    for core in chip.cores:
+        choice = rng.random()
+        if choice < 0.4:  # running
+            core.set_running(object(), float(rng.uniform(0.0, 1.2)), 0.0)
+            if smt == 2 and rng.random() < 0.5:
+                core.set_context_running(1, object(), float(rng.uniform(0.0, 1.2)), 0.0)
+        elif choice < 0.7:  # freshly idle: still C1 at t=0
+            core.set_idle(-1e-4)
+        else:  # long idle: promoted (C1E when enabled)
+            core.set_idle(-100.0)
+    return chip
+
+
+def test_power_coefficients_match_scalar_property_sweep():
+    """Randomized sweep over C-states, DVFS, TCC, SMT, and temperatures:
+    the affine-exponential decomposition reproduces the scalar power
+    model to ≤1e-12 W per node."""
+    rng = np.random.default_rng(0)
+    for _ in range(60):
+        chip = _random_chip(rng)
+        cstates, power_fn = chip.power_function(time=0.0)
+        coefficients = chip.power_coefficients(cstates)
+        n = chip.num_cores + 2
+        # Include hot outliers so the exponential's cap is exercised.
+        temps = rng.uniform(25.0, 95.0, size=n)
+        if rng.random() < 0.3:
+            temps[int(rng.integers(0, n))] = 160.0
+        diff = np.abs(coefficients.evaluate(temps) - power_fn(temps))
+        assert float(diff.max()) <= POWER_TOL_W, (cstates, diff.max())
+
+
+def test_fused_terms_match_evaluate():
+    """The folded inner-loop form (reference temperature baked into the
+    prefactor) agrees with the documented evaluate() formula."""
+    rng = np.random.default_rng(1)
+    chip = _random_chip(rng)
+    cstates, _ = chip.power_function(time=0.0)
+    coefficients = chip.power_coefficients(cstates)
+    inv_slope, arg_cap, scaled_coef = coefficients.fused_terms()
+    temps = rng.uniform(20.0, 170.0, size=chip.num_cores + 2)
+    folded = coefficients.base + scaled_coef * np.exp(
+        np.minimum(temps * inv_slope, arg_cap)
+    )
+    assert np.max(np.abs(folded - coefficients.evaluate(temps))) <= 1e-10
+
+
+def test_advance_coefficients_matches_scalar_advance():
+    chip = Chip(num_cores=4)
+    for i, core in enumerate(chip.cores):
+        if i % 2 == 0:
+            core.set_running(object(), 1.0, 0.0)
+        else:
+            core.set_idle(-100.0)
+    network = build_network(ThermalParams(), 4)
+    temps0 = np.full(network.num_nodes, 55.0)
+    _, power_fn = chip.power_function(time=0.0)
+    _, coefficients = chip.power_segment(0.0)
+
+    scalar = ThermalIntegrator(network, temps0.copy(), max_substep=5e-3)
+    fused = ThermalIntegrator(network, temps0.copy(), max_substep=5e-3)
+    r_scalar = scalar.advance(10.0, power_fn)
+    r_fused = fused.advance_coefficients(10.0, coefficients)
+
+    assert np.max(np.abs(scalar.temps - fused.temps)) <= TEMP_TOL_C
+    assert r_fused.energy == pytest.approx(r_scalar.energy, rel=1e-9)
+    assert r_fused.average_power == pytest.approx(r_scalar.average_power, rel=1e-9)
+
+
+def test_advance_coefficients_zero_and_negative_duration():
+    chip = Chip(num_cores=2)
+    for core in chip.cores:
+        core.set_running(object(), 1.0, 0.0)
+    network = build_network(ThermalParams(), 2)
+    integ = ThermalIntegrator(network, np.full(network.num_nodes, 50.0))
+    _, coefficients = chip.power_segment(0.0)
+    _, power_fn = chip.power_function(time=0.0)
+
+    result = integ.advance_coefficients(0.0, coefficients)
+    assert result.energy == 0.0
+    assert result.average_power == pytest.approx(float(power_fn(integ.temps).sum()))
+    with pytest.raises(ConfigurationError):
+        integ.advance_coefficients(-1.0, coefficients)
+
+
+# ----------------------------------------------------------------------
+# expm LRU cache
+# ----------------------------------------------------------------------
+def _tiny_network(cache_size: int) -> ThermalNetwork:
+    return ThermalNetwork(
+        capacitances=[1.0, 2.0],
+        conductances=np.array([[0.0, 0.5], [0.5, 0.0]]),
+        ambient_conductances=[0.0, 1.0],
+        ambient_temp=25.0,
+        expm_cache_size=cache_size,
+    )
+
+
+def test_expm_cache_is_bounded_with_lru_eviction():
+    with isolated() as registry:
+        network = _tiny_network(2)
+        network.step_kernel(0.1)
+        network.step_kernel(0.2)
+        network.step_kernel(0.1)  # refresh 0.1 -> 0.2 is now LRU
+        network.step_kernel(0.3)  # evicts 0.2
+        assert network.expm_cache_len == 2
+        network.step_kernel(0.1)  # still cached
+        assert registry.value("thermal.rcnetwork.expm_cache.misses") == 3
+        assert registry.value("thermal.rcnetwork.expm_cache.hits") == 2
+        assert registry.value("thermal.rcnetwork.expm_cache.evictions") == 1
+        # 0.2 was evicted: asking again is a miss and evicts 0.3 (LRU).
+        network.step_kernel(0.2)
+        assert registry.value("thermal.rcnetwork.expm_cache.misses") == 4
+        assert network.expm_cache_len == 2
+
+
+def test_expm_cache_size_validated():
+    with pytest.raises(ConfigurationError):
+        _tiny_network(0)
+
+
+def test_scalar_and_fused_paths_share_step_kernels():
+    with isolated() as registry:
+        network = _tiny_network(8)
+        integ = ThermalIntegrator(network, np.array([40.0, 30.0]), max_substep=1e-2)
+        integ.advance(0.1, lambda temps: np.array([1.0, 0.0]))
+        misses_after_scalar = registry.value("thermal.rcnetwork.expm_cache.misses")
+        from repro.cpu.power import PowerCoefficients
+
+        coefficients = PowerCoefficients(
+            base=np.array([1.0, 0.0]),
+            leak_coef=np.zeros(2),
+            leak_ref_temp=58.0,
+            leak_t_slope=11.5,
+            leak_exp_cap=0.7,
+        )
+        integ.advance_coefficients(0.1, coefficients)
+        # Same substep length: the fused path reuses the scalar's kernel.
+        assert (
+            registry.value("thermal.rcnetwork.expm_cache.misses")
+            == misses_after_scalar
+        )
+        assert registry.value("thermal.rcnetwork.expm_cache.hits") >= 1
+
+
+# ----------------------------------------------------------------------
+# Chip segment reuse
+# ----------------------------------------------------------------------
+def test_power_segment_reuses_until_state_epoch_changes():
+    with isolated() as registry:
+        chip = Chip(num_cores=2)
+        for core in chip.cores:
+            core.set_running(object(), 1.0, 0.0)
+
+        c1, k1 = chip.power_segment(0.0)
+        c2, k2 = chip.power_segment(0.25)
+        assert k2 is k1 and c2 == c1
+        assert registry.value("cpu.chip.power_segments.rebuilds") == 1
+        assert registry.value("cpu.chip.power_segments.reuses") == 1
+
+        chip.cores[0].set_running(object(), 0.5, 0.3)  # activity change
+        _, k3 = chip.power_segment(0.35)
+        assert k3 is not k2
+        assert registry.value("cpu.chip.power_segments.rebuilds") == 2
+
+        chip.set_tcc(setpoints(8)[3])  # chip-wide state change
+        _, k4 = chip.power_segment(0.4)
+        assert k4 is not k3
+        assert registry.value("cpu.chip.power_segments.rebuilds") == 3
+
+
+def test_power_segment_invalidates_at_cstate_promotion():
+    chip = Chip(num_cores=1)
+    chip.cores[0].set_idle(0.0)
+    promo = chip.cores[0].promotion_time()
+    assert promo is not None
+
+    before, k_before = chip.power_segment(promo * 0.5)
+    assert before[0] is CState.C1
+    after, k_after = chip.power_segment(promo * 1.5)
+    assert after[0] is CState.C1E
+    assert k_after is not k_before
+    # The promoted segment is stable from there on.
+    again, k_again = chip.power_segment(promo * 2.0)
+    assert k_again is k_after
+
+
+def test_power_segment_never_reused_backwards():
+    chip = Chip(num_cores=1)
+    chip.cores[0].set_idle(0.0)
+    promo = chip.cores[0].promotion_time()
+    chip.power_segment(promo * 1.5)
+    # A query before the segment's build time must not reuse it.
+    states, _ = chip.power_segment(promo * 0.5)
+    assert states[0] is CState.C1
+
+
+def test_tcc_affects_coefficients():
+    chip = Chip(num_cores=1)
+    chip.cores[0].set_running(object(), 1.0, 0.0)
+    _, k_off = chip.power_segment(0.0)
+    chip.set_tcc(setpoints(8)[0])  # deepest duty cycle
+    _, k_tcc = chip.power_segment(0.0)
+    assert k_tcc.base[0] < k_off.base[0]
+    assert chip.tcc is not TCC_OFF
+
+
+# ----------------------------------------------------------------------
+# End to end
+# ----------------------------------------------------------------------
+def test_end_to_end_fast_physics_matches_scalar():
+    """A fig2-style 60 s run: the default (fused, segment-reusing)
+    machine reproduces the scalar-oracle machine's logged temperatures
+    to 1e-9 °C and its energy accounting to 1e-9 relative."""
+
+    def build(fast: bool) -> Machine:
+        machine = Machine(fast_config(seed=0), fast_physics=fast)
+        machine.control.set_global_policy(0.5, 0.100)
+        for _ in range(4):
+            machine.scheduler.spawn(CpuBurn())
+        return machine
+
+    scalar = build(False)
+    fused = build(True)
+    scalar.run(60.0)
+    fused.run(60.0)
+
+    assert scalar.templog.samples.shape == fused.templog.samples.shape
+    assert np.max(np.abs(scalar.templog.samples - fused.templog.samples)) <= TEMP_TOL_C
+    assert fused.energy(0.0, 60.0) == pytest.approx(
+        scalar.energy(0.0, 60.0), rel=1e-9
+    )
+    assert np.max(np.abs(scalar.core_temps - fused.core_temps)) <= TEMP_TOL_C

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Profile a named experiment under cProfile and report hot functions.
+
+Usage::
+
+    python tools/profile_run.py fig2                 # top 25 by cumulative
+    python tools/profile_run.py fig3 --top 40 --sort tottime
+    python tools/profile_run.py smoke --json prof.json
+
+Runs the experiment exactly as ``python -m repro.cli`` would (fast
+config, serial runner, cache disabled so the simulations actually
+execute), wraps it in :mod:`cProfile`, and prints the top-N entries.
+With ``--json`` the same rows are written machine-readable, which is
+handy for diffing before/after an optimisation.
+
+See docs/performance.md for how this fits the perf workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import pstats
+import sys
+from pathlib import Path
+
+# Allow running as a plain script from a fresh checkout.
+try:  # pragma: no cover - import shim
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - import shim
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cli import EXPERIMENTS, make_runner, run_experiment
+
+SORT_KEYS = ("cumulative", "tottime", "ncalls")
+
+
+def profile_experiment(name: str, *, seed: int = 0, full: bool = False) -> pstats.Stats:
+    """Run experiment ``name`` under cProfile and return its stats."""
+    runner = make_runner(jobs=1, use_cache=False)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run_experiment(name, seed=seed, full=full, runner=runner)
+    finally:
+        profiler.disable()
+    return pstats.Stats(profiler)
+
+
+def stats_rows(stats: pstats.Stats, *, sort: str, top: int) -> list:
+    """The top-N profile entries as JSON-ready dicts."""
+    stats.sort_stats(sort)
+    rows = []
+    for func in stats.fcn_list[:top]:  # populated by sort_stats
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, funcname = func
+        rows.append(
+            {
+                "function": f"{filename}:{line}({funcname})",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": tt,
+                "cumtime_s": ct,
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment to profile")
+    parser.add_argument("--seed", type=int, default=0, help="experiment RNG seed")
+    parser.add_argument("--full", action="store_true", help="paper-faithful durations instead of the fast config")
+    parser.add_argument("--top", type=int, default=25, help="number of entries to report")
+    parser.add_argument("--sort", choices=SORT_KEYS, default="cumulative", help="profile sort key")
+    parser.add_argument("--json", type=Path, default=None, help="also write the rows as JSON here")
+    args = parser.parse_args(argv)
+
+    stats = profile_experiment(args.experiment, seed=args.seed, full=args.full)
+
+    out = io.StringIO()
+    stats.stream = out
+    stats.sort_stats(args.sort).print_stats(args.top)
+    print(out.getvalue())
+
+    if args.json is not None:
+        payload = {
+            "experiment": args.experiment,
+            "seed": args.seed,
+            "full": args.full,
+            "sort": args.sort,
+            "total_time_s": stats.total_tt,
+            "rows": stats_rows(stats, sort=args.sort, top=args.top),
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"profile rows written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
