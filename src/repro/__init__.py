@@ -60,6 +60,7 @@ from .experiments import (
     validate_energy_model,
     validate_throughput_model,
 )
+from .fleet import FleetMachine, RoundRobinBalancer, fleet_experiment
 from .runtime import (
     ParallelRunner,
     ResultCache,
@@ -101,6 +102,7 @@ __all__ = [
     "DvfsTable",
     "ExperimentConfig",
     "FiniteCpuBurn",
+    "FleetMachine",
     "IdleInjector",
     "IdleMode",
     "Machine",
@@ -111,6 +113,7 @@ __all__ = [
     "PowerModel",
     "PowerParams",
     "ResultCache",
+    "RoundRobinBalancer",
     "RunManifest",
     "RunSpec",
     "RunnerMetrics",
@@ -137,6 +140,7 @@ __all__ = [
     "fig5_per_thread_control",
     "fig6_webserver_qos",
     "fit_power_law",
+    "fleet_experiment",
     "full_config",
     "pareto_boundary",
     "predicted_energy",

@@ -24,8 +24,9 @@ backoff (``--max-retries``), an interrupted sweep resumes from its
 journal (``--resume``), ``--keep-going`` degrades gracefully past
 terminal failures, and ``--inject-faults`` chaos-tests all of the
 above (see ``docs/robustness.md``).  ``--jobs``/caching have no effect
-on the single-machine experiments (fig1, fig2, fig5, fig6), which
-interleave all their threads on one simulated testbed.
+on the single-machine experiments (fig1, fig2, fig5, fig6) or the
+fleet experiment, which interleave all their events on one simulated
+testbed (the fleet batches its physics internally instead).
 """
 
 from __future__ import annotations
@@ -56,6 +57,7 @@ from .experiments import (
 from .errors import ConfigurationError
 from .experiments.reporting import format_failure_report
 from .faults import FaultPlan
+from .fleet import fleet_experiment
 from .runtime import (
     ParallelRunner,
     ProgressEvent,
@@ -81,6 +83,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig4": ("Dimetrodon vs VFS vs p4tcc sweeps", fig4_technique_comparison),
     "fig5": ("global vs per-thread control", fig5_per_thread_control),
     "fig6": ("web server QoS vs temperature reduction", fig6_webserver_qos),
+    "fleet": ("datacenter rack behind a load balancer (fleet-scale)", fleet_experiment),
     "table1": ("SPEC CPU2006 profiles and fits", table1_spec_workloads),
     "validate-throughput": ("throughput model validation (§3.3)", validate_throughput_model),
     "validate-energy": ("energy model validation (§3.3)", validate_energy_model),

@@ -13,6 +13,15 @@ the power injected into every thermal node).  A core is either
 Because C-state promotion makes idle power *time-varying within an
 event-free interval*, the chip exposes :meth:`cstate_breakpoints` so
 the machine can split its thermal integration at promotion instants.
+
+Power is exposed two ways.  The simulation hot path calls
+:meth:`Chip.power_segment`, which returns a cached segment-constant
+:class:`~repro.cpu.power.PowerCoefficients` decomposition for the
+fused integrator and reuses it — multiplexed on :attr:`Chip.state_epoch`
+and bounded by the next promotion instant — across event gaps where no
+power-relevant state changes.  :meth:`Chip.power_function` /
+:meth:`Chip.power_vector` are the scalar per-core reference the fast
+path is validated against.
 """
 
 from __future__ import annotations
@@ -352,6 +361,11 @@ class Chip:
         Node order matches :func:`repro.thermal.floorplan.build_network`:
         ``[core0..coreN-1, spreader, sink]``.  Core temperatures are the
         first ``num_cores`` entries of ``temps``.
+
+        This is the scalar reference path (a Python loop over cores);
+        the simulation hot path evaluates the same model through
+        :meth:`power_coefficients` + the fused integrator, and the
+        fast-path tests pin the two to ≤ 1e-12 W per node.
         """
         n = self.num_cores
         power = np.zeros(n + 2)

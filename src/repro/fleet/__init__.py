@@ -1,0 +1,27 @@
+"""Fleet-scale simulation: racks of servers on one event queue with
+structure-of-arrays batched physics.
+
+- :class:`~repro.fleet.machine.FleetMachine` — N fully wired servers
+  (chip, scheduler, injector, instruments each) whose thermal states
+  advance together through one
+  :class:`~repro.thermal.rcnetwork.FleetThermalIntegrator`;
+- :class:`~repro.fleet.balancer.RoundRobinBalancer` — Poisson request
+  arrivals spread round-robin over per-machine web servers;
+- :func:`~repro.fleet.experiment.fleet_experiment` — the ``fleet`` CLI
+  experiment: a datacenter rack serving the §3.7 web workload with and
+  without idle injection.
+
+See docs/fleet.md for the architecture and equivalence guarantees.
+"""
+
+from .balancer import RoundRobinBalancer
+from .experiment import FleetResult, fleet_experiment
+from .machine import FleetMachine, FleetNode
+
+__all__ = [
+    "FleetMachine",
+    "FleetNode",
+    "FleetResult",
+    "RoundRobinBalancer",
+    "fleet_experiment",
+]

@@ -1,0 +1,94 @@
+"""A round-robin load balancer in front of per-machine web servers.
+
+The fleet experiment models the simplest datacenter front door: one
+aggregate Poisson arrival stream (the sum of every machine's §3.7
+connection pool) dispatched round-robin.  Round-robin splitting of a
+Poisson process gives each of ``N`` servers Erlang-``N`` interarrivals
+at ``1/N`` of the aggregate rate — same mean load as fig6's per-server
+Poisson stream, slightly smoother, which is exactly what a front-end
+balancer does to a rack.
+
+Routing goes through the target node's
+:class:`~repro.fleet.machine._NodeSimView` (a zero-delay scheduled
+callback), so the node's physics gap closes before the request mutates
+its queues — arrivals are node events like any other.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.process import Process
+from ..telemetry.registry import registry as _metrics_registry
+from ..workloads.webserver import WebServer
+from .machine import FleetMachine
+
+
+class RoundRobinBalancer:
+    """Dispatches a fleet-level Poisson arrival stream round-robin.
+
+    Parameters
+    ----------
+    fleet:
+        The fleet whose nodes host the servers.
+    servers:
+        One :class:`~repro.workloads.webserver.WebServer` per fleet
+        node, in node order, built with ``external_arrivals=True``.
+    rate:
+        Aggregate arrival rate, requests/s.
+    rng:
+        Stream for the exponential interarrival draws (use a
+        fleet-level stream, not a node's, so node randomness stays
+        decorrelated from the front door).
+    """
+
+    def __init__(
+        self,
+        fleet: FleetMachine,
+        servers: Sequence[WebServer],
+        *,
+        rate: float,
+        rng: np.random.Generator,
+    ):
+        if len(servers) != fleet.num_machines:
+            raise ConfigurationError(
+                f"balancer got {len(servers)} servers for "
+                f"{fleet.num_machines} machines"
+            )
+        if rate <= 0:
+            raise ConfigurationError("aggregate arrival rate must be positive")
+        self.fleet = fleet
+        self.servers = list(servers)
+        self.rate = float(rate)
+        self._rng = rng
+        self._next = 0
+        #: Requests routed to each node so far.
+        self.routed: List[int] = [0] * len(self.servers)
+        self._metric_routed = _metrics_registry().scope("fleet.balancer").counter(
+            "routed"
+        )
+        self._process = Process(fleet.sim, self._arrival_loop())
+
+    def _arrival_loop(self):
+        while True:
+            yield float(self._rng.exponential(1.0 / self.rate))
+            index = self._next
+            self._next = (index + 1) % len(self.servers)
+            # Zero-delay hop through the node's sim view: the node's
+            # physics gap closes before the server sees the request.
+            self.fleet.nodes[index].simview.schedule(
+                0.0, self.servers[index].submit_request
+            )
+            self.routed[index] += 1
+            self._metric_routed.inc()
+
+    def stop(self) -> None:
+        """Stop generating arrivals."""
+        self._process.stop()
+
+    @property
+    def total_routed(self) -> int:
+        return sum(self.routed)

@@ -1,0 +1,248 @@
+"""The ``fleet`` CLI experiment: a rack serving the web workload.
+
+Two fleets run back to back on the §3.7 SPECWeb-like workload behind a
+round-robin load balancer: a baseline rack (no injection) and a
+Dimetrodon rack (global policy ``p``, idle quantum ``L``).  The report
+mirrors fig6 — QoS retention vs temperature reduction — but measured
+rack-wide, plus the batched-physics throughput actually achieved
+(chip-substeps/s from the ``fleet.*`` telemetry counters).
+
+Fleet sizing follows the preset: the fast preset runs a small rack so
+CI finishes in seconds, ``--full`` runs hundreds of 4-core servers.
+Both run serially on one simulated event queue — ``--jobs`` and the
+result cache do not apply here (see docs/running-experiments.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..experiments.config import ExperimentConfig
+from ..experiments.reporting import format_table, percent
+from ..sim.rng import RngRegistry
+from ..telemetry.registry import registry as _metrics_registry
+from ..workloads.webserver import QOS_GOOD, QOS_TOLERABLE, WebServer
+from .balancer import RoundRobinBalancer
+from .machine import FleetMachine
+
+
+@dataclass
+class _FleetRun:
+    """Measurements from one rack run (baseline or injected)."""
+
+    qos_good: float
+    qos_tolerable: float
+    mean_response: float
+    mean_temp: float
+    energy: float
+    work_done: float
+    requests: int
+
+
+@dataclass
+class FleetResult:
+    """The fleet experiment's rack-wide measurements."""
+
+    machines: int
+    duration: float
+    p: float
+    idle_quantum: float
+    idle_mean_temp: float
+    baseline_rise: float
+    temp_reduction: float
+    offered_load_per_core: float
+    baseline: _FleetRun
+    injected: _FleetRun
+    chip_substeps_per_s: float
+
+    def render(self) -> str:
+        rows = [
+            [
+                "baseline",
+                0.0,
+                0.0,
+                self.baseline.mean_temp - self.idle_mean_temp,
+                percent(1.0),
+                percent(1.0),
+                self.baseline.mean_response,
+                self.baseline.energy / 1e3,
+                self.baseline.work_done,
+            ],
+            [
+                "dimetrodon",
+                self.p,
+                self.idle_quantum * 1e3,
+                self.injected.mean_temp - self.idle_mean_temp,
+                percent(self._relative(self.injected.qos_good, self.baseline.qos_good)),
+                percent(
+                    self._relative(
+                        self.injected.qos_tolerable, self.baseline.qos_tolerable
+                    )
+                ),
+                self.injected.mean_response,
+                self.injected.energy / 1e3,
+                self.injected.work_done,
+            ],
+        ]
+        title = (
+            f"Fleet: {self.machines} machines x {self.duration:.0f}s web serving "
+            f"(load/core {percent(self.offered_load_per_core)}, "
+            f"temp reduction {percent(self.temp_reduction)}, "
+            f"physics {_rate(self.chip_substeps_per_s)} chip-substeps/s)"
+        )
+        return format_table(
+            [
+                "rack",
+                "p",
+                "L [ms]",
+                "rise [C]",
+                "QoS good",
+                "QoS tol.",
+                "mean resp [s]",
+                "energy [kJ]",
+                "work [CPU-s]",
+            ],
+            rows,
+            title=title,
+        )
+
+    @staticmethod
+    def _relative(value: float, base: float) -> float:
+        return value / base if base > 0 else 0.0
+
+
+def _rate(per_second: float) -> str:
+    if per_second >= 1e6:
+        return f"{per_second / 1e6:.1f}M"
+    return f"{per_second / 1e3:.0f}k"
+
+
+def _measure_rack(
+    config: ExperimentConfig,
+    *,
+    machines: int,
+    duration: float,
+    warmup: float,
+    p: float,
+    idle_quantum: float,
+) -> Tuple[FleetMachine, _FleetRun]:
+    """Build, load-balance, and run one rack; score its QoS window."""
+    fleet = FleetMachine(config, machines=machines)
+    servers: List[WebServer] = [
+        WebServer(node.scheduler, node.rng.stream("web"), external_arrivals=True)
+        for node in fleet.nodes
+    ]
+    balancer = RoundRobinBalancer(
+        fleet,
+        servers,
+        rate=machines * servers[0].arrival_rate,
+        rng=RngRegistry(config.seed).stream("fleet-balancer"),
+    )
+    if p > 0:
+        for node in fleet.nodes:
+            node.control.set_global_policy(p, idle_quantum)
+    fleet.run(duration)
+    balancer.stop()
+
+    # Rack-wide QoS over the same window fig6 scores per machine:
+    # requests arriving in [warmup, duration - QOS_TOLERABLE], pooled
+    # across every server (unanswered requests count as failures).
+    start, end = warmup, duration - QOS_TOLERABLE
+    window = [r for s in servers for r in s.log.arrived_in(start, end)]
+    answered = [r.response_time for r in window if r.completed is not None]
+    count = len(window)
+    good = sum(1 for t in answered if t <= QOS_GOOD)
+    tolerable = sum(1 for t in answered if t <= QOS_TOLERABLE)
+    run = _FleetRun(
+        qos_good=good / count if count else 1.0,
+        qos_tolerable=tolerable / count if count else 1.0,
+        mean_response=float(np.mean(answered)) if answered else float("inf"),
+        mean_temp=fleet.mean_core_temp_over_window(),
+        energy=fleet.total_energy(),
+        work_done=fleet.total_work_done(),
+        requests=count,
+    )
+    return fleet, run
+
+
+def fleet_experiment(
+    config: ExperimentConfig,
+    *,
+    machines: Optional[int] = None,
+    duration: Optional[float] = None,
+    p: float = 0.65,
+    idle_quantum: float = 0.050,
+    warmup: float = 5.0,
+) -> FleetResult:
+    """Rack-wide QoS vs temperature reduction under idle injection.
+
+    ``machines``/``duration`` default by preset: the fast preset runs a
+    16-machine rack for ``warmup + measure_window + 5`` seconds,
+    ``--full`` a 256-machine rack (the "hundreds of servers" scale) for
+    its longer measurement window.  Every machine is a 4-core server
+    from the shared config, node ``j`` seeded ``config.seed + j``.
+    """
+    if machines is None:
+        # The presets differ only in timing; the longer paper-faithful
+        # characterization also gets the paper-scale rack.
+        machines = 256 if config.characterization_duration >= 300.0 else 16
+    if duration is None:
+        duration = warmup + config.measure_window + QOS_TOLERABLE
+
+    metrics = _metrics_registry()
+
+    def _physics_totals() -> Tuple[float, float]:
+        wall = metrics.value("fleet.advance_wall", {"total": 0.0})["total"]
+        return float(metrics.value("fleet.substeps", 0)), float(wall)
+
+    substeps0, wall0 = _physics_totals()
+    base_fleet, baseline = _measure_rack(
+        config,
+        machines=machines,
+        duration=duration,
+        warmup=warmup,
+        p=0.0,
+        idle_quantum=idle_quantum,
+    )
+    _, injected = _measure_rack(
+        config,
+        machines=machines,
+        duration=duration,
+        warmup=warmup,
+        p=p,
+        idle_quantum=idle_quantum,
+    )
+    substeps1, wall1 = _physics_totals()
+
+    idle_mean = base_fleet.idle_mean_temp
+    baseline_rise = baseline.mean_temp - idle_mean
+    reduction = (
+        (baseline.mean_temp - injected.mean_temp) / baseline_rise
+        if baseline_rise > 0
+        else 0.0
+    )
+    wall = wall1 - wall0
+    return FleetResult(
+        machines=machines,
+        duration=duration,
+        p=p,
+        idle_quantum=idle_quantum,
+        idle_mean_temp=idle_mean,
+        baseline_rise=baseline_rise,
+        temp_reduction=reduction,
+        offered_load_per_core=_offered_load(config),
+        baseline=baseline,
+        injected=injected,
+        chip_substeps_per_s=(substeps1 - substeps0) / wall if wall > 0 else 0.0,
+    )
+
+
+def _offered_load(config: ExperimentConfig) -> float:
+    """The web workload's offered utilisation per core (fig6's number),
+    computed from the default server parameters without building one."""
+    connections, think_time = 440, 11.0
+    service_mean, kernel_overhead = 0.025, 0.0002
+    return (connections / think_time) * (service_mean + kernel_overhead) / config.num_cores

@@ -1,0 +1,442 @@
+"""A rack of simulated servers sharing one event queue and one
+structure-of-arrays physics state.
+
+A :class:`FleetMachine` is ``N`` copies of the single-server testbed
+(:class:`repro.experiments.machine.Machine`): each node gets its own
+chip, scheduler, idle injector, RNG registry, power meter, sensors and
+temperature log, and all nodes' events interleave on one shared
+:class:`~repro.sim.engine.Simulator`.  What is *not* per-node is the
+physics: every machine is a copy of the same thermal network, so the
+whole fleet's temperatures live in one ``(machines, nodes)`` array
+inside a :class:`~repro.thermal.rcnetwork.FleetThermalIntegrator` and
+cohorts of machines advance with one fused matmul per substep.
+
+How per-machine event streams drive batched physics
+---------------------------------------------------
+
+The single-server machine integrates eagerly: an advance listener runs
+the thermal model over every inter-event gap before each event fires.
+A fleet cannot do that directly — splitting machine A's quiet interval
+at machine B's event times would change A's substep lengths and with
+them the leakage-lag discretization, breaking run-for-run equivalence
+with a standalone machine.  Instead, each node schedules its callbacks
+through a :class:`_NodeSimView`, a node-scoped view of the shared
+simulator that wraps every callback: immediately before a node's event
+runs, the node's physics *gap* (from its last event to now) is closed
+by **recording** power segments — split at that node's own C-state
+promotion instants, coefficients evaluated at piece midpoints, exactly
+the piece structure the standalone machine integrates.  Nothing is
+integrated yet; segments queue per node.
+
+Integration happens in batch when temperatures are actually needed
+(a temperature-log sample, a ``core_temps`` read, or the end of
+:meth:`FleetMachine.run`): the drain repeatedly groups the
+head-of-queue segments across nodes into cohorts of equal duration —
+equal duration means equal substep length ``h``, the precondition for
+sharing one step kernel — and advances each cohort with one batched
+call.  Deferring is sound because power coefficients are segment
+constants: they capture the chip state at recording time and do not
+depend on when the integral is evaluated.  Per-node segment order is
+preserved, so each machine sees exactly the integral a standalone
+machine would have computed; a fleet of one machine is *bit-identical*
+to a standalone :class:`Machine` (the tests pin this), and an N-machine
+fleet matches N independent runs to well under the repo-wide 1e-9 °C
+equivalence tolerance.
+
+When the fleet's event streams align (lockstep workloads, or the
+synchronized benchmark), cohorts span the whole fleet and the batched
+kernel does one ``(nodes, 2·nodes+1) @ (2·nodes+1, N)`` matmul per
+substep; under desynchronized workloads (per-node Poisson arrivals)
+cohorts shrink and the path degrades gracefully toward per-machine
+gemvs that still share the step-kernel cache.
+
+Telemetry (shared registry, additive across nodes): the integrator's
+``fleet.machines`` / ``fleet.substeps`` / ``fleet.advance_wall``, plus
+``fleet.segments`` (recorded pieces), ``fleet.drains``, and coefficient
+stack build/reuse counters from this module.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.injector import IdleInjector, IdleMode
+from ..cpu.chip import Chip
+from ..cpu.power import FleetCoefficients, PowerCoefficients
+from ..errors import ConfigurationError
+from ..experiments.config import ExperimentConfig
+from ..instruments.powermeter import PowerMeter
+from ..instruments.templog import TemperatureLog
+from ..sched.scheduler import Scheduler
+from ..sched.syscalls import DimetrodonControl
+from ..sim.engine import Event, Simulator
+from ..sim.rng import RngRegistry
+from ..telemetry.registry import registry as _metrics_registry
+from ..thermal.floorplan import build_network
+from ..thermal.rcnetwork import FleetThermalIntegrator, ThermalIntegrator
+from ..thermal.sensors import SensorBank
+
+
+class _NodeSimView:
+    """One node's view of the shared simulator.
+
+    Exposes the :class:`~repro.sim.engine.Simulator` surface node
+    components use (``now``, ``schedule``, ``schedule_at``) and wraps
+    every scheduled callback so the node's physics gap is closed —
+    segments recorded up to the current instant — before the callback
+    mutates any state the power model depends on.  Cancelling the
+    returned :class:`~repro.sim.engine.Event` works unchanged.
+    """
+
+    __slots__ = ("_fleet", "_index", "_sim")
+
+    def __init__(self, fleet: "FleetMachine", index: int, sim: Simulator):
+        self._fleet = fleet
+        self._index = index
+        self._sim = sim
+
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        return self._sim.schedule(delay, self._fire, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        return self._sim.schedule_at(time, self._fire, callback, args)
+
+    def _fire(self, callback: Callable[..., Any], args: Tuple[Any, ...]) -> None:
+        self._fleet._close_gap(self._index)
+        callback(*args)
+
+
+@dataclass
+class _PendingSegment:
+    """One recorded, not-yet-integrated physics piece of one node."""
+
+    start: float
+    duration: float
+    coefficients: PowerCoefficients
+
+
+class FleetNode:
+    """One server of the fleet: the full single-machine OS stack, with
+    physics delegated to the fleet's batched integrator.
+
+    Wiring mirrors :class:`repro.experiments.machine.Machine` component
+    for component (same construction order, same RNG stream names, same
+    instrument parameters) — that is what makes a fleet node's event
+    stream, and therefore its physics piece structure, identical to a
+    standalone machine built from the same config.
+    """
+
+    def __init__(
+        self,
+        fleet: "FleetMachine",
+        index: int,
+        config: ExperimentConfig,
+        *,
+        idle_mode: IdleMode,
+        co_schedule_smt: bool,
+    ):
+        self.fleet = fleet
+        self.index = index
+        self.config = config
+        cfg = config
+        self.simview = _NodeSimView(fleet, index, fleet.sim)
+        self.rng = RngRegistry(cfg.seed)
+        self.chip = Chip(
+            cfg.power,
+            num_cores=cfg.num_cores,
+            smt=cfg.smt,
+            cstate_params=cfg.cstates,
+            c1e_enabled=cfg.c1e_enabled,
+        )
+        for core in self.chip.cores:
+            core.set_idle(-1e6)  # long-idle: deep state from the start
+
+        self.injector = IdleInjector(mode=idle_mode, co_schedule_smt=co_schedule_smt)
+        if cfg.scheduler_queue == "ule":
+            from ..sched.ule import UleRunqueue
+
+            runqueue = UleRunqueue(num_cores=cfg.num_cores)
+        elif cfg.scheduler_queue == "bsd":
+            runqueue = None  # Scheduler builds the default 4.4BSD MLFQ
+        else:
+            raise ConfigurationError(
+                f"unknown scheduler_queue {cfg.scheduler_queue!r} (bsd|ule)"
+            )
+        self.scheduler = Scheduler(
+            self.simview,
+            self.chip,
+            quantum=cfg.quantum,
+            context_switch_cost=cfg.context_switch_cost,
+            injector=self.injector,
+            runqueue=runqueue,
+        )
+        self.control = DimetrodonControl(self.scheduler, rng=self.rng.stream("inject"))
+
+        meter_rng = self.rng.stream("clamp") if cfg.clamp_gain_error > 0 else None
+        self.powermeter = PowerMeter(
+            clamp_gain_error=cfg.clamp_gain_error, rng=meter_rng
+        )
+        core_nodes = list(range(cfg.num_cores))
+        if cfg.noisy_sensors:
+            self.sensors = SensorBank.coretemp(core_nodes, self.rng.stream("sensors"))
+        else:
+            self.sensors = SensorBank.ideal(core_nodes)
+        self.templog = TemperatureLog(
+            self.simview,
+            lambda: self.sensors.read(fleet._node_temps(index)),
+            period=cfg.temp_sample_period,
+            num_cores=cfg.num_cores,
+        )
+
+        #: Recorded-but-unintegrated physics pieces, in time order.
+        self.pending: Deque[_PendingSegment] = deque()
+        #: End of the last recorded piece (= this node's last event).
+        self.last_physics_time = fleet.sim.now
+
+        self.scheduler.start()
+
+    # ------------------------------------------------------------------
+    # Convenience measurements (the Machine API, per node)
+    # ------------------------------------------------------------------
+    @property
+    def core_temps(self) -> np.ndarray:
+        """Current true per-core temperatures, °C (drains physics)."""
+        return self.fleet._node_temps(self.index)[: self.config.num_cores].copy()
+
+    @property
+    def idle_mean_temp(self) -> float:
+        """Mean per-core idle (baseline) temperature, °C."""
+        return float(np.mean(self.fleet.idle_core_temps))
+
+    def mean_core_temp_over_window(self, window: Optional[float] = None) -> float:
+        """Mean core temperature over the trailing window (default: the
+        config's measurement window)."""
+        return self.templog.mean_over_window(window or self.config.measure_window)
+
+    def temp_rise_over_idle(self, window: Optional[float] = None) -> float:
+        """Mean core temperature rise over the idle baseline, °C."""
+        return self.mean_core_temp_over_window(window) - self.idle_mean_temp
+
+    def total_work_done(self) -> float:
+        """Total useful work completed by this node's threads, CPU-s."""
+        return sum(t.stats.work_done for t in self.scheduler.threads)
+
+    def energy(self, start: float = -np.inf, end: float = np.inf) -> float:
+        """Package energy over [start, end], J (drains physics)."""
+        self.fleet._drain()
+        return self.powermeter.energy(start, end)
+
+
+class FleetMachine:
+    """``machines`` fully wired servers advancing as one batch.
+
+    Node ``j`` is built from ``config.with_seed(config.seed + j)``, so
+    node 0 of a fleet is the *same* simulated server as a standalone
+    ``Machine(config)`` and the other nodes are independent replicas
+    with decorrelated workload randomness.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        *,
+        machines: int = 4,
+        idle_mode: IdleMode = IdleMode.HALT,
+        co_schedule_smt: bool = False,
+    ):
+        if machines < 1:
+            raise ConfigurationError("a fleet needs at least one machine")
+        self.config = config or ExperimentConfig()
+        cfg = self.config
+        self.num_machines = int(machines)
+
+        self.sim = Simulator()
+        #: One network shared by every node: homogeneous machines share
+        #: the step-kernel LRU, so each distinct substep length costs
+        #: one ``expm`` for the whole fleet.
+        self.network = build_network(cfg.thermal, cfg.num_cores)
+
+        scope = _metrics_registry().scope("fleet")
+        self._metric_segments = scope.counter("segments")
+        self._metric_drains = scope.counter("drains")
+        self._metric_stack_builds = scope.counter("coefficient_stacks.builds")
+        self._metric_stack_reuses = scope.counter("coefficient_stacks.reuses")
+
+        # --- idle-equilibrium initial condition, computed once --------
+        # All chips are identical and idle at t=0, so one settle seeds
+        # every row of the fleet state with the temperatures a
+        # standalone machine's own settle would produce (bitwise: same
+        # network parameters, same iteration).  The settle must see the
+        # chip *long-idle* — Machine settles before its scheduler's
+        # ``start()`` re-marks cores naturally idle — so it runs on a
+        # dedicated probe chip, not a node's.
+        probe_chip = Chip(
+            cfg.power,
+            num_cores=cfg.num_cores,
+            smt=cfg.smt,
+            cstate_params=cfg.cstates,
+            c1e_enabled=cfg.c1e_enabled,
+        )
+        for core in probe_chip.cores:
+            core.set_idle(-1e6)
+        probe = ThermalIntegrator(self.network, max_substep=cfg.thermal.max_substep)
+        _, idle_power_fn = probe_chip.power_function(time=0.0)
+        probe.settle(idle_power_fn)
+
+        self.nodes: List[FleetNode] = [
+            FleetNode(
+                self,
+                j,
+                cfg.with_seed(cfg.seed + j),
+                idle_mode=idle_mode,
+                co_schedule_smt=co_schedule_smt,
+            )
+            for j in range(machines)
+        ]
+        self.integrator = FleetThermalIntegrator(
+            self.network,
+            machines,
+            initial_temps=probe.temps,
+            max_substep=cfg.thermal.max_substep,
+        )
+        #: Per-core idle temperatures — the baseline, °C (all nodes).
+        self.idle_core_temps = probe.temps[: cfg.num_cores].copy()
+
+        #: Cohort-width -> last coefficient stack, for epoch-multiplexed
+        #: reuse (aligned fleets rebuild nothing in steady state).
+        self._stack_cache: Dict[int, FleetCoefficients] = {}
+
+    # ------------------------------------------------------------------
+    # Physics co-simulation
+    # ------------------------------------------------------------------
+    def _close_gap(self, index: int) -> None:
+        """Record node ``index``'s physics from its last event to now.
+
+        Mirrors ``Machine._advance_physics`` piece for piece — split at
+        the node's own C-state promotion instants, skip empty pieces,
+        evaluate coefficients at piece midpoints, account residency —
+        but queues the segments instead of integrating them.
+        """
+        node = self.nodes[index]
+        now = self.sim.now
+        t0 = node.last_physics_time
+        if now <= t0:
+            return
+        chip = node.chip
+        pending = node.pending
+        edges = [t0] + chip.cstate_breakpoints(t0, now) + [now]
+        recorded = 0
+        for a, b in zip(edges, edges[1:]):
+            if b <= a:
+                continue
+            cstates, coefficients = chip.power_segment(0.5 * (a + b))
+            chip.record_residency(cstates, b - a)
+            pending.append(_PendingSegment(a, b - a, coefficients))
+            recorded += 1
+        node.last_physics_time = now
+        self._metric_segments.inc(recorded)
+
+    def _cohort_stack(
+        self, columns: Sequence[PowerCoefficients]
+    ) -> FleetCoefficients:
+        """The node-major coefficient stack for one cohort, reusing the
+        previous stack of the same width when every column is the same
+        (epoch-unchanged) coefficient object."""
+        width = len(columns)
+        cached = self._stack_cache.get(width)
+        if cached is not None and cached.matches(columns):
+            self._metric_stack_reuses.inc()
+            return cached
+        stack = FleetCoefficients.from_coefficients(columns)
+        self._stack_cache[width] = stack
+        self._metric_stack_builds.inc()
+        return stack
+
+    def _drain(self) -> None:
+        """Integrate every recorded segment, batching across nodes.
+
+        Head-of-queue segments with exactly equal durations share a
+        substep length, so they advance as one cohort; rounds repeat
+        until all queues are empty.  Per-node segment order is
+        preserved, which is all machine-level equivalence needs —
+        cohort membership only changes floating-point summation order
+        inside the gemm.
+        """
+        nodes = self.nodes
+        active = [j for j in range(self.num_machines) if nodes[j].pending]
+        if not active:
+            return
+        integrator = self.integrator
+        while active:
+            groups: Dict[float, List[int]] = {}
+            for j in active:
+                groups.setdefault(nodes[j].pending[0].duration, []).append(j)
+            for duration, members in groups.items():
+                segments = [nodes[j].pending.popleft() for j in members]
+                stack = self._cohort_stack([s.coefficients for s in segments])
+                energies = integrator.advance_machines(members, duration, stack)
+                for j, segment, energy in zip(members, segments, energies):
+                    nodes[j].powermeter.record_segment(
+                        segment.start, segment.duration, energy / segment.duration
+                    )
+            active = [j for j in active if nodes[j].pending]
+        self._metric_drains.inc()
+
+    def _node_temps(self, index: int) -> np.ndarray:
+        """Node ``index``'s current node temperatures (°C), integrating
+        everything recorded so far.  Returns a live row view; callers
+        that keep the array must copy."""
+        self._close_gap(index)
+        self._drain()
+        return self.integrator.temps[index]
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> None:
+        """Advance the whole fleet by ``duration`` seconds.
+
+        Like the standalone machine's run, the final partial interval
+        is integrated too: every node's gap is closed at the end time
+        and all queues drain, so temperatures and energy are current
+        when this returns.
+        """
+        self.sim.run(until=self.sim.now + duration)
+        for j in range(self.num_machines):
+            self._close_gap(j)
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # Fleet-level measurements
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def idle_mean_temp(self) -> float:
+        """Mean per-core idle (baseline) temperature, °C."""
+        return float(np.mean(self.idle_core_temps))
+
+    def mean_core_temp_over_window(self, window: Optional[float] = None) -> float:
+        """Fleet-mean core temperature over the trailing window, °C."""
+        return float(
+            np.mean([node.mean_core_temp_over_window(window) for node in self.nodes])
+        )
+
+    def total_energy(self, start: float = -np.inf, end: float = np.inf) -> float:
+        """Aggregate package energy over [start, end], J."""
+        self._drain()
+        return float(sum(node.powermeter.energy(start, end) for node in self.nodes))
+
+    def total_work_done(self) -> float:
+        """Total useful work completed across the fleet, CPU-seconds."""
+        return float(sum(node.total_work_done() for node in self.nodes))

@@ -38,6 +38,14 @@ The integrator has two equivalent paths:
 - :meth:`ThermalIntegrator.advance_coefficients` — the fused fast
   path: per substep one gemv pair plus one vectorized exponential into
   preallocated buffers, no allocation and no per-core Python work.
+
+:class:`FleetThermalIntegrator` generalizes the fused path to ``N``
+independent copies of one network (a rack of identical servers): the
+whole fleet's temperature state is a single ``(N, nodes)`` array and a
+cohort of machines sharing a substep length advances with one
+``(nodes, 2·nodes+1) @ (2·nodes+1, K)`` matmul per substep instead of
+``K`` gemvs.  All three integration paths share the step-kernel LRU of
+the underlying :class:`ThermalNetwork`.
 """
 
 from __future__ import annotations
@@ -239,10 +247,14 @@ class AdvanceResult:
 class ThermalIntegrator:
     """Advances a :class:`ThermalNetwork` through time.
 
-    The integrator owns the temperature state.  Call :meth:`advance`
-    with a duration and a power function; the interval is cut into
-    substeps no longer than ``max_substep`` and each substep is advanced
-    exactly for the power evaluated at its starting temperatures.
+    The integrator owns the temperature state (:attr:`temps`, shape
+    ``(nodes,)``, °C).  Every advance cuts its interval into
+    ``ceil(duration / max_substep)`` equal substeps and advances each
+    one exactly for the power evaluated at its starting temperatures.
+    The simulation hot path is :meth:`advance_coefficients` (fused,
+    allocation-free); :meth:`advance` is the scalar reference oracle a
+    Python power callback plugs into, kept for validation and for
+    callers whose power is not an affine-exponential decomposition.
     """
 
     def __init__(
@@ -313,16 +325,33 @@ class ThermalIntegrator:
     ) -> AdvanceResult:
         """Integrate forward by ``duration`` seconds on the fused path.
 
-        ``coefficients`` is a segment-constant affine-exponential power
-        decomposition (:class:`repro.cpu.power.PowerCoefficients`, or
-        anything with its ``evaluate``/``fused_terms`` contract).  Per
-        substep this costs the folded leakage chain (multiply, clip,
-        exp, multiply, add) plus one gemv of the stacked kernel against
-        the ``[T, P, 1]`` state buffer — no Python per-core loop, no
-        ``steady_state`` solve, no allocation.  Energy is accumulated
-        vectorially per node and reduced once at the end.  Numerically
-        equivalent to :meth:`advance` with the matching power callback
-        (same propagator, algebraically identical update).
+        Parameters
+        ----------
+        duration:
+            Interval length, seconds (≥ 0).  Cut into
+            ``ceil(duration / max_substep)`` equal substeps.
+        coefficients:
+            Segment-constant affine-exponential power decomposition
+            (:class:`repro.cpu.power.PowerCoefficients`, or anything
+            with its ``evaluate``/``fused_terms`` contract): per-node
+            ``base`` and ``leak_coef`` arrays of shape ``(nodes,)`` in
+            watts, plus the shared leakage-exponential constants.
+
+        Returns
+        -------
+        AdvanceResult
+            Energy delivered over the interval (J) and its time
+            average (W); :attr:`temps` holds the end-of-interval node
+            temperatures (°C).
+
+        Per substep this costs the folded leakage chain (multiply,
+        clip, exp, multiply, add) plus one gemv of the stacked
+        ``(nodes, 2·nodes+1)`` kernel against the ``[T, P, 1]`` state
+        buffer — no Python per-core loop, no ``steady_state`` solve,
+        no allocation.  Energy is accumulated vectorially per node and
+        reduced once at the end.  Numerically equivalent to
+        :meth:`advance` with the matching power callback (same
+        propagator, algebraically identical update).
         """
         if duration < 0:
             raise ConfigurationError(f"cannot integrate a negative duration {duration}")
@@ -397,3 +426,223 @@ class ThermalIntegrator:
             if np.max(np.abs(self.temps - before)) < tolerance:
                 break
         return self.temps
+
+
+class FleetThermalIntegrator:
+    """Advances ``N`` independent copies of one network in lockstep.
+
+    The fleet's temperature state is a single structure-of-arrays
+    ``(machines, nodes)`` float array (:attr:`temps`, °C) — machine
+    ``j``'s nodes are row ``j``, in the same node order a standalone
+    :class:`ThermalIntegrator` uses.  :meth:`advance_machines` moves
+    any subset of machines forward by a common duration: the selected
+    rows are gathered into one stacked ``(2·nodes+1, K)`` state block
+    ``[T; P; 1]`` (machines along columns, so the temperature block
+    stays contiguous for the matmul output) and every substep costs
+    one elementwise leakage chain on ``(nodes, K)`` blocks plus a
+    single ``(nodes, 2·nodes+1) @ (2·nodes+1, K)`` matmul — the
+    single-chip fused kernel's gemv widened to a gemm over the cohort.
+
+    Equivalence guarantees, relied on by the fleet tests:
+
+    - a cohort of one machine (``K = 1``) runs the *identical*
+      operation sequence as :meth:`ThermalIntegrator.advance_coefficients`
+      — 1-D buffers, same ufunc chain, same gemv — so a fleet of one
+      machine reproduces a standalone machine bit for bit;
+    - for ``K > 1`` the gemm accumulates in a different order than K
+      gemvs, so per-substep results agree to float rounding (not
+      bitwise); over any simulated horizon the accumulated difference
+      stays far below the repo-wide 1e-9 °C equivalence pin because
+      the propagator is a contraction.
+
+    Substep lengths come from the same ``ceil(duration / max_substep)``
+    rule as the single-chip integrator, and step kernels come from the
+    *shared* :class:`ThermalNetwork` LRU — a fleet of homogeneous
+    machines pays for each ``expm`` once, not ``N`` times.
+
+    Telemetry (``fleet`` scope): ``machines`` gauge, ``substeps``
+    counter in *chip-substeps* (``n_steps × K`` per advance, additive
+    with what ``N`` standalone integrators would have counted),
+    ``batched_advances`` counter, and the ``advance_wall`` timer over
+    every batched advance.
+    """
+
+    def __init__(
+        self,
+        network: ThermalNetwork,
+        num_machines: int,
+        initial_temps: Optional[np.ndarray] = None,
+        max_substep: float = 5e-3,
+    ):
+        if num_machines < 1:
+            raise ConfigurationError("a fleet needs at least one machine")
+        if max_substep <= 0:
+            raise ConfigurationError("max_substep must be positive")
+        self.network = network
+        self.num_machines = int(num_machines)
+        self.max_substep = float(max_substep)
+        n = network.num_nodes
+        if initial_temps is None:
+            self.temps = np.full((num_machines, n), network.ambient_temp, dtype=float)
+        else:
+            initial = np.asarray(initial_temps, dtype=float)
+            if initial.shape == (n,):
+                self.temps = np.tile(initial, (num_machines, 1))
+            elif initial.shape == (num_machines, n):
+                self.temps = initial.copy()
+            else:
+                raise ConfigurationError(
+                    f"initial temperatures must be ({n},) or "
+                    f"({num_machines}, {n}), got {initial.shape}"
+                )
+        scope = _metrics_registry().scope("fleet")
+        scope.gauge("machines").set(num_machines)
+        self._metric_substeps = scope.counter("substeps")
+        self._metric_batched_advances = scope.counter("batched_advances")
+        self._metric_advance_wall = scope.timer("advance_wall")
+        # Stacked-state scratch, one pair per cohort width K (cohort
+        # widths repeat heavily, so this is a handful of entries).  The
+        # bottom row of each state block is the constant 1.0 the fused
+        # kernel's ambient column multiplies; it is written once here
+        # and never touched by the substep loop.
+        self._scratch: dict = {}
+        # 1-D buffers for the K=1 bit-match path, mirroring
+        # ThermalIntegrator's layout exactly.
+        self._vec_state_a = np.zeros(2 * n + 1)
+        self._vec_state_b = np.zeros(2 * n + 1)
+        self._vec_state_a[2 * n] = 1.0
+        self._vec_state_b[2 * n] = 1.0
+        self._vec_energy = np.empty(n)
+
+    # ------------------------------------------------------------------
+    def machine_temps(self, machine: int) -> np.ndarray:
+        """Copy of one machine's node temperatures, shape ``(nodes,)`` °C."""
+        return self.temps[machine].copy()
+
+    def _cohort_scratch(self, width: int):
+        buffers = self._scratch.get(width)
+        if buffers is None:
+            n = self.network.num_nodes
+            state_a = np.zeros((2 * n + 1, width))
+            state_b = np.zeros((2 * n + 1, width))
+            state_a[2 * n] = 1.0
+            state_b[2 * n] = 1.0
+            buffers = (state_a, state_b, np.empty((n, width)))
+            self._scratch[width] = buffers
+        return buffers
+
+    def advance_machines(
+        self,
+        machines: Sequence[int],
+        duration: float,
+        coefficients,
+    ) -> np.ndarray:
+        """Advance a cohort of machines by a common ``duration``.
+
+        Parameters
+        ----------
+        machines:
+            Row indices of the machines to advance (a cohort must share
+            the duration, hence the substep length ``h``).
+        duration:
+            Interval length, seconds (> 0).
+        coefficients:
+            :class:`repro.cpu.power.FleetCoefficients` whose columns
+            line up with ``machines``: ``base``/``scaled_coef`` of
+            shape ``(nodes, K)`` in watts plus the shared scalar
+            leakage constants.
+
+        Returns
+        -------
+        numpy.ndarray
+            Energy delivered per machine over the interval, shape
+            ``(K,)``, joules.
+        """
+        count = len(machines)
+        if count == 0:
+            return np.empty(0)
+        if duration <= 0:
+            raise ConfigurationError(
+                f"cohort advance needs a positive duration, got {duration}"
+            )
+        if coefficients.num_machines != count:
+            raise ConfigurationError(
+                f"coefficient stack is {coefficients.num_machines} machines "
+                f"wide, cohort has {count}"
+            )
+        with self._metric_advance_wall.time():
+            n_steps = max(1, int(np.ceil(duration / self.max_substep - 1e-12)))
+            h = duration / n_steps
+            self._metric_substeps.inc(n_steps * count)
+            self._metric_batched_advances.inc()
+            fused = self.network.step_kernel(h).fused
+            if count == 1:
+                energy = self._advance_single(
+                    machines[0], n_steps, fused, coefficients
+                )
+                return np.array([energy * h])
+            base = coefficients.base
+            scaled_coef = coefficients.scaled_coef
+            inv_slope = coefficients.inv_slope
+            arg_cap = coefficients.arg_cap
+            n = self.network.num_nodes
+            state, other, acc = self._cohort_scratch(count)
+            s_temps, s_power = state[:n], state[n : 2 * n]
+            o_temps, o_power = other[:n], other[n : 2 * n]
+            rows = self.temps[machines]  # (K, n) gather
+            s_temps[:] = rows.T
+            acc.fill(0.0)
+            multiply, minimum, add, vexp, dot = (
+                np.multiply,
+                np.minimum,
+                np.add,
+                np.exp,
+                np.dot,
+            )
+            for _ in range(n_steps):
+                # P = base + scaled_coef * exp(min(T * inv_slope, arg_cap)),
+                # all (nodes, K) blocks — same chain as the 1-D path.
+                multiply(s_temps, inv_slope, out=s_power)
+                minimum(s_power, arg_cap, out=s_power)
+                vexp(s_power, out=s_power)
+                multiply(s_power, scaled_coef, out=s_power)
+                add(s_power, base, out=s_power)
+                add(acc, s_power, out=acc)
+                dot(fused, state, out=o_temps)
+                state, other = other, state
+                s_temps, s_power, o_temps, o_power = o_temps, o_power, s_temps, s_power
+            self.temps[machines] = s_temps.T
+            return acc.sum(axis=0) * h
+
+    def _advance_single(self, machine: int, n_steps: int, fused, coefficients) -> float:
+        """The K=1 path: bitwise the single-chip fused substep loop."""
+        n = self.network.num_nodes
+        base = coefficients.base[:, 0]
+        scaled_coef = coefficients.scaled_coef[:, 0]
+        inv_slope = coefficients.inv_slope
+        arg_cap = coefficients.arg_cap
+        state, other = self._vec_state_a, self._vec_state_b
+        s_temps, s_power = state[:n], state[n : 2 * n]
+        o_temps, o_power = other[:n], other[n : 2 * n]
+        s_temps[:] = self.temps[machine]
+        acc = self._vec_energy
+        acc.fill(0.0)
+        multiply, minimum, add, vexp, dot = (
+            np.multiply,
+            np.minimum,
+            np.add,
+            np.exp,
+            np.dot,
+        )
+        for _ in range(n_steps):
+            multiply(s_temps, inv_slope, out=s_power)
+            minimum(s_power, arg_cap, out=s_power)
+            vexp(s_power, out=s_power)
+            multiply(s_power, scaled_coef, out=s_power)
+            add(s_power, base, out=s_power)
+            add(acc, s_power, out=acc)
+            dot(fused, state, out=o_temps)
+            state, other = other, state
+            s_temps, s_power, o_temps, o_power = o_temps, o_power, s_temps, s_power
+        self.temps[machine] = s_temps
+        return float(acc.sum())

@@ -155,7 +155,15 @@ class WebServer:
         service_sigma: float = 0.6,
         kernel_overhead: float = 0.0002,
         num_workers: int = 8,
+        external_arrivals: bool = False,
     ):
+        """``external_arrivals=True`` disables the server's own Poisson
+        arrival process; requests then enter only through
+        :meth:`submit_request` — the load-balancer mode used by the
+        fleet experiment, where one fleet-level arrival stream is
+        routed across many servers.  ``connections``/``think_time``
+        still define :attr:`arrival_rate` (what this server is sized
+        for) and the per-core load estimate."""
         if connections < 1 or think_time <= 0:
             raise ConfigurationError("need positive connections and think_time")
         if service_mean <= 0 or kernel_overhead <= 0:
@@ -180,7 +188,9 @@ class WebServer:
             scheduler.add_thread(worker)
             self.workers.append(worker)
 
-        self._process = Process(scheduler.sim, self._arrival_loop())
+        self._process: Optional[Process] = (
+            None if external_arrivals else Process(scheduler.sim, self._arrival_loop())
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -190,8 +200,17 @@ class WebServer:
         return self.arrival_rate * per_request / self.scheduler.chip.num_cores
 
     def stop(self) -> None:
-        """Stop generating new requests."""
-        self._process.stop()
+        """Stop generating new requests (no-op with external arrivals)."""
+        if self._process is not None:
+            self._process.stop()
+
+    def submit_request(self) -> Request:
+        """Inject one request arriving now (external-arrivals mode).
+
+        Also usable alongside the internal arrival process for burst
+        injection; the request is logged and queued exactly like an
+        internally generated one."""
+        return self._arrive()
 
     # ------------------------------------------------------------------
     def _arrival_loop(self):
@@ -204,7 +223,7 @@ class WebServer:
         scale = self.service_mean / float(np.exp(sigma**2 / 2.0))
         return float(scale * self.rng.lognormal(mean=0.0, sigma=sigma))
 
-    def _arrive(self) -> None:
+    def _arrive(self) -> Request:
         request = Request(
             rid=next(self._rid),
             arrival=self.scheduler.sim.now,
@@ -213,6 +232,7 @@ class WebServer:
         self.log.requests.append(request)
         self._kernel_work.pending.append(request)
         self.scheduler.wake(self.kernel_thread)
+        return request
 
     def _deliver_to_user(self, request: Request) -> None:
         """Kernel finished the network event; hand off to a worker."""

@@ -1,0 +1,225 @@
+"""Tests for the fleet layer: batched physics equivalence, the load
+balancer, telemetry additivity, and the CLI experiment."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, supports_runner
+from repro.cpu.power import FleetCoefficients, PowerCoefficients
+from repro.errors import ConfigurationError
+from repro.experiments import Machine, fast_config
+from repro.fleet import FleetMachine, RoundRobinBalancer, fleet_experiment
+from repro.sim.rng import RngRegistry
+from repro.telemetry.registry import isolated
+from repro.workloads import CpuBurn
+from repro.workloads.webserver import WebServer
+
+
+def _drive_burn(machine_like, *, threads=2, p=0.5, quantum=0.010):
+    for _ in range(threads):
+        machine_like.scheduler.spawn(CpuBurn())
+    machine_like.control.set_global_policy(p, quantum)
+
+
+# ======================================================================
+# Equivalence with the standalone machine
+# ======================================================================
+def test_fleet_of_one_bit_matches_standalone():
+    """A 1-machine fleet is the *same* simulation as Machine(config):
+    identical event stream, identical physics pieces, identical floats."""
+    cfg = fast_config(0)
+
+    solo = Machine(cfg)
+    _drive_burn(solo)
+    solo.run(6.0)
+
+    fleet = FleetMachine(cfg, machines=1)
+    node = fleet.nodes[0]
+    _drive_burn(node)
+    fleet.run(6.0)
+
+    assert np.array_equal(solo.templog.times, node.templog.times)
+    assert np.array_equal(solo.templog.samples, node.templog.samples)
+    assert np.array_equal(solo.integrator.temps, fleet.integrator.temps[0])
+    assert np.array_equal(solo.idle_core_temps, fleet.idle_core_temps)
+    assert solo.powermeter.energy(0.0, 6.0) == node.energy(0.0, 6.0)
+    assert solo.total_work_done() == node.total_work_done()
+
+
+def test_fleet_matches_independent_serial_runs():
+    """N-machine fleet == N standalone runs (seeds seed+j) within the
+    repo-wide 1e-9 °C tolerance; event-level outputs match exactly."""
+    cfg = fast_config(0)
+    n = 3
+
+    fleet = FleetMachine(cfg, machines=n)
+    fleet_servers = [
+        WebServer(node.scheduler, node.rng.stream("web")) for node in fleet.nodes
+    ]
+    for node in fleet.nodes:
+        node.control.set_global_policy(0.5, 0.010)
+    fleet.run(5.0)
+
+    for j in range(n):
+        solo = Machine(cfg.with_seed(cfg.seed + j))
+        server = WebServer(solo.scheduler, solo.rng.stream("web"))
+        solo.control.set_global_policy(0.5, 0.010)
+        solo.run(5.0)
+
+        node = fleet.nodes[j]
+        assert np.max(np.abs(solo.templog.samples - node.templog.samples)) <= 1e-9
+        assert np.max(np.abs(solo.integrator.temps - fleet.integrator.temps[j])) <= 1e-9
+        # Scheduling is physics-independent, so the request streams are
+        # not merely close — they are the same events.
+        assert [r.rid for r in server.log.requests] == [
+            r.rid for r in fleet_servers[j].log.requests
+        ]
+        assert [r.completed for r in server.log.requests] == [
+            r.completed for r in fleet_servers[j].log.requests
+        ]
+        assert solo.total_work_done() == node.total_work_done()
+
+
+def test_node_accessors_and_fleet_aggregates():
+    cfg = fast_config(0)
+    fleet = FleetMachine(cfg, machines=2)
+    for node in fleet.nodes:
+        node.scheduler.spawn(CpuBurn())
+    fleet.run(3.0)
+
+    node = fleet.nodes[0]
+    assert node.core_temps.shape == (cfg.num_cores,)
+    assert node.temp_rise_over_idle(2.0) > 0.0
+    assert fleet.mean_core_temp_over_window(2.0) > fleet.idle_mean_temp
+    assert fleet.total_energy() == pytest.approx(
+        sum(node.energy() for node in fleet.nodes)
+    )
+    assert fleet.total_work_done() > 0.0
+    assert fleet.now == pytest.approx(3.0)
+
+
+def test_fleet_requires_at_least_one_machine():
+    with pytest.raises(ConfigurationError):
+        FleetMachine(fast_config(0), machines=0)
+
+
+# ======================================================================
+# Coefficient stacking
+# ======================================================================
+def _coefficients(base=5.0, coef=0.1, ref=45.0, slope=12.0, cap=4.0):
+    return PowerCoefficients(
+        base=np.full(3, base),
+        leak_coef=np.full(3, coef),
+        leak_ref_temp=ref,
+        leak_t_slope=slope,
+        leak_exp_cap=cap,
+    )
+
+
+def test_fleet_coefficients_stack_and_identity_reuse():
+    columns = [_coefficients(base=5.0 + j) for j in range(4)]
+    stack = FleetCoefficients.from_coefficients(columns)
+    assert stack.num_machines == 4
+    assert stack.base.shape == (3, 4)
+    assert stack.matches(columns)
+    assert not stack.matches(list(reversed(columns)))
+    assert not stack.matches(columns[:3])
+
+
+def test_fleet_coefficients_reject_heterogeneous_leakage():
+    columns = [_coefficients(), _coefficients(slope=13.0)]
+    with pytest.raises(ConfigurationError):
+        FleetCoefficients.from_coefficients(columns)
+
+
+# ======================================================================
+# Load balancer
+# ======================================================================
+def test_round_robin_balancer_spreads_requests_evenly():
+    cfg = fast_config(0)
+    fleet = FleetMachine(cfg, machines=3)
+    servers = [
+        WebServer(node.scheduler, node.rng.stream("web"), external_arrivals=True)
+        for node in fleet.nodes
+    ]
+    balancer = RoundRobinBalancer(
+        fleet,
+        servers,
+        rate=3 * servers[0].arrival_rate,
+        rng=RngRegistry(cfg.seed).stream("fleet-balancer"),
+    )
+    fleet.run(5.0)
+    balancer.stop()
+
+    assert balancer.total_routed > 0
+    assert max(balancer.routed) - min(balancer.routed) <= 1
+    for server, routed in zip(servers, balancer.routed):
+        assert len(server.log.requests) == routed
+
+
+def test_balancer_validates_inputs():
+    cfg = fast_config(0)
+    fleet = FleetMachine(cfg, machines=2)
+    servers = [
+        WebServer(node.scheduler, node.rng.stream("web"), external_arrivals=True)
+        for node in fleet.nodes
+    ]
+    rng = RngRegistry(cfg.seed).stream("fleet-balancer")
+    with pytest.raises(ConfigurationError):
+        RoundRobinBalancer(fleet, servers[:1], rate=10.0, rng=rng)
+    with pytest.raises(ConfigurationError):
+        RoundRobinBalancer(fleet, servers, rate=0.0, rng=rng)
+
+
+# ======================================================================
+# Telemetry
+# ======================================================================
+def test_fleet_telemetry_counts_chip_substeps_additively():
+    """fleet.substeps counts chip-substeps: an N-machine fleet reports
+    exactly the sum of the N equivalent standalone machines' substeps."""
+    cfg = fast_config(0)
+    n = 2
+
+    standalone_substeps = 0
+    for j in range(n):
+        with isolated() as reg:
+            solo = Machine(cfg.with_seed(cfg.seed + j))
+            _drive_burn(solo)
+            solo.run(4.0)
+            standalone_substeps += reg.value("thermal.rcnetwork.substeps", 0)
+
+    with isolated() as reg:
+        fleet = FleetMachine(cfg, machines=n)
+        for node in fleet.nodes:
+            _drive_burn(node)
+        fleet.run(4.0)
+        assert reg.value("fleet.machines") == n
+        assert reg.value("fleet.substeps", 0) == standalone_substeps
+        assert reg.value("fleet.batched_advances", 0) > 0
+        assert reg.value("fleet.segments", 0) > 0
+        assert reg.value("fleet.drains", 0) > 0
+        wall = reg.value("fleet.advance_wall")
+        assert wall["total"] > 0.0 and wall["count"] > 0
+
+
+# ======================================================================
+# The CLI experiment
+# ======================================================================
+def test_fleet_experiment_registered_as_serial():
+    assert "fleet" in EXPERIMENTS
+    _, func = EXPERIMENTS["fleet"]
+    assert func is fleet_experiment
+    assert not supports_runner(func)
+
+
+def test_fleet_experiment_smoke():
+    result = fleet_experiment(
+        fast_config(0), machines=2, duration=8.0, warmup=1.0
+    )
+    assert result.machines == 2
+    assert result.baseline.requests > 0
+    assert result.injected.requests > 0
+    assert result.baseline_rise > 0.0
+    assert result.chip_substeps_per_s > 0.0
+    rendered = result.render()
+    assert "baseline" in rendered and "dimetrodon" in rendered

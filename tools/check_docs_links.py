@@ -1,9 +1,14 @@
 #!/usr/bin/env python
-"""Check that every file under docs/ is linked from README.md.
+"""Check documentation linkage both ways.
 
-The docs tree is only useful if it is discoverable from the front
-page; CI runs this so a new docs page cannot land unlinked. Exits
-non-zero listing any unlinked files.
+1. Every file under docs/ is linked from README.md — the docs tree is
+   only useful if it is discoverable from the front page, so a new
+   docs page cannot land unlinked.
+2. Every repo-relative markdown link in README.md and docs/*.md
+   resolves to an existing file — a renamed or deleted page cannot
+   leave dangling references behind.
+
+CI runs this; exits non-zero listing any violation.
 """
 
 from __future__ import annotations
@@ -11,6 +16,10 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
+
+#: Markdown inline links: capture the target inside ](...), dropping
+#: any #fragment. External schemes are filtered out afterwards.
+_LINK = re.compile(r"\]\(([^)#\s]+)(?:#[^)]*)?\)")
 
 
 def unlinked_docs(repo_root: Path) -> list:
@@ -26,17 +35,38 @@ def unlinked_docs(repo_root: Path) -> list:
     return missing
 
 
+def broken_links(repo_root: Path) -> list:
+    """(source, target) pairs for repo-relative links that don't resolve."""
+    sources = [repo_root / "README.md"] + sorted((repo_root / "docs").glob("*.md"))
+    broken = []
+    for source in sources:
+        base = source.parent
+        for target in _LINK.findall(source.read_text()):
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            if not (base / target).exists():
+                broken.append((source.relative_to(repo_root).as_posix(), target))
+    return broken
+
+
 def main() -> int:
     repo_root = Path(__file__).resolve().parent.parent
     if not (repo_root / "docs").is_dir():
         print("no docs/ directory", file=sys.stderr)
         return 1
-    missing = unlinked_docs(repo_root)
-    if missing:
-        for path in missing:
-            print(f"NOT LINKED from README.md: {path}", file=sys.stderr)
+    failed = False
+    for path in unlinked_docs(repo_root):
+        print(f"NOT LINKED from README.md: {path}", file=sys.stderr)
+        failed = True
+    for source, target in broken_links(repo_root):
+        print(f"BROKEN LINK in {source}: {target}", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    print("docs check: every docs/ file is linked from README.md")
+    print(
+        "docs check: every docs/ file is linked from README.md "
+        "and every relative link resolves"
+    )
     return 0
 
 
