@@ -60,7 +60,15 @@ from .experiments import (
     validate_energy_model,
     validate_throughput_model,
 )
-from .fleet import FleetMachine, RoundRobinBalancer, fleet_experiment
+from .fleet import (
+    FleetMachine,
+    MigrationPolicy,
+    RoundRobinBalancer,
+    ThermalBalancer,
+    build_policy,
+    fleet_compare_experiment,
+    fleet_experiment,
+)
 from .runtime import (
     ParallelRunner,
     ResultCache,
@@ -103,6 +111,7 @@ __all__ = [
     "ExperimentConfig",
     "FiniteCpuBurn",
     "FleetMachine",
+    "MigrationPolicy",
     "IdleInjector",
     "IdleMode",
     "Machine",
@@ -121,6 +130,7 @@ __all__ = [
     "Simulator",
     "SpecWorkload",
     "TccSetting",
+    "ThermalBalancer",
     "ThermalNetwork",
     "ThermalParams",
     "ThermalSetpointController",
@@ -129,6 +139,7 @@ __all__ = [
     "TradeoffPoint",
     "WebServer",
     "Workload",
+    "build_policy",
     "characterization_spec",
     "default_config",
     "fast_config",
@@ -140,6 +151,7 @@ __all__ = [
     "fig5_per_thread_control",
     "fig6_webserver_qos",
     "fit_power_law",
+    "fleet_compare_experiment",
     "fleet_experiment",
     "full_config",
     "pareto_boundary",

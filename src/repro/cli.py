@@ -57,7 +57,8 @@ from .experiments import (
 from .errors import ConfigurationError
 from .experiments.reporting import format_failure_report
 from .faults import FaultPlan
-from .fleet import fleet_experiment
+from .fleet import fleet_compare_experiment, fleet_experiment
+from .fleet.scheduling import POLICY_NAMES
 from .runtime import (
     ParallelRunner,
     ProgressEvent,
@@ -84,6 +85,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig5": ("global vs per-thread control", fig5_per_thread_control),
     "fig6": ("web server QoS vs temperature reduction", fig6_webserver_qos),
     "fleet": ("datacenter rack behind a load balancer (fleet-scale)", fleet_experiment),
+    "fleet-compare": (
+        "thermal techniques compared rack-wide (fig4 at fleet scale)",
+        fleet_compare_experiment,
+    ),
     "table1": ("SPEC CPU2006 profiles and fits", table1_spec_workloads),
     "validate-throughput": ("throughput model validation (§3.3)", validate_throughput_model),
     "validate-energy": ("energy model validation (§3.3)", validate_energy_model),
@@ -182,12 +187,41 @@ def build_parser() -> argparse.ArgumentParser:
         'e.g. "crash@1,hang@3:30,poison@0" or "seed=7,crash=1,hang=1" '
         "(see docs/robustness.md)",
     )
+    parser.add_argument(
+        "--policy",
+        metavar="NAME",
+        default=None,
+        help="scheduling policy for the fleet experiment "
+        f"({', '.join(POLICY_NAMES)}; see docs/fleet.md)",
+    )
     return parser
 
 
 def supports_runner(func: Callable) -> bool:
     """Whether an experiment accepts the batch ``runner`` keyword."""
     return "runner" in inspect.signature(func).parameters
+
+
+def supports_policy(func: Callable) -> bool:
+    """Whether an experiment accepts the scheduling ``policy`` keyword."""
+    return "policy" in inspect.signature(func).parameters
+
+
+def validate_policy(experiment: str, policy: Optional[str]) -> None:
+    """Reject a bad ``--policy`` before any simulation starts."""
+    if policy is None:
+        return
+    if policy not in POLICY_NAMES:
+        raise ConfigurationError(
+            f"unknown scheduling policy {policy!r} "
+            f"(known: {', '.join(POLICY_NAMES)})"
+        )
+    func = EXPERIMENTS.get(experiment, (None, None))[1]
+    if func is None or not supports_policy(func):
+        raise ConfigurationError(
+            f"--policy applies only to experiments that take a scheduling "
+            f"policy (fleet), not {experiment!r}"
+        )
 
 
 def _print_progress(event: ProgressEvent, runner: Optional[ParallelRunner] = None) -> None:
@@ -252,19 +286,26 @@ def run_experiment(
     full: bool = False,
     runner: Optional[ParallelRunner] = None,
     timings: Optional[Dict[str, float]] = None,
+    policy: Optional[str] = None,
 ) -> str:
     """Run one experiment and return its rendered text.
 
     ``timings``, when given, collects the experiment's wall seconds
-    under its name (the manifest records these).
+    under its name (the manifest records these).  ``policy`` is passed
+    through to experiments that take a scheduling policy (the fleet);
+    asking for it elsewhere is a :class:`ConfigurationError`.
     """
     config = full_config(seed) if full else fast_config(seed)
     _, func = EXPERIMENTS[name]
+    kwargs = {}
+    if policy is not None:
+        validate_policy(name, policy)
+        kwargs["policy"] = policy
     started = time.time()
     if runner is not None and supports_runner(func):
         executed_before = runner.metrics.executed
         hits_before = runner.metrics.cache_hits
-        result = func(config, runner=runner)
+        result = func(config, runner=runner, **kwargs)
         elapsed = time.time() - started
         executed = runner.metrics.executed - executed_before
         hits = runner.metrics.cache_hits - hits_before
@@ -273,7 +314,7 @@ def run_experiment(
             f"{hits} cached | jobs={runner.jobs}]"
         )
     else:
-        result = func(config)
+        result = func(config, **kwargs)
         elapsed = time.time() - started
         status = f"[{name}: {elapsed:.1f}s wall]"
     if timings is not None:
@@ -323,6 +364,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # exactly this run, even when main() is called repeatedly in-process.
     with isolated() as metrics_registry:
         try:
+            validate_policy(args.experiment, args.policy)
             runner = make_runner(
                 jobs=args.jobs,
                 cache_dir=args.cache_dir,
@@ -342,7 +384,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             for name in names:
                 print(
                     run_experiment(
-                        name, seed=args.seed, full=args.full, runner=runner, timings=timings
+                        name,
+                        seed=args.seed,
+                        full=args.full,
+                        runner=runner,
+                        timings=timings,
+                        policy=args.policy,
                     )
                 )
                 print()

@@ -7,21 +7,46 @@ structure-of-arrays batched physics.
   :class:`~repro.thermal.rcnetwork.FleetThermalIntegrator`;
 - :class:`~repro.fleet.balancer.RoundRobinBalancer` — Poisson request
   arrivals spread round-robin over per-machine web servers;
+- :mod:`~repro.fleet.scheduling` — thermal-aware placement and costed
+  inter-chip migration policies (:func:`build_policy` registry);
 - :func:`~repro.fleet.experiment.fleet_experiment` — the ``fleet`` CLI
   experiment: a datacenter rack serving the §3.7 web workload with and
-  without idle injection.
+  without idle injection, under a selectable scheduling policy;
+- :func:`~repro.fleet.compare.fleet_compare_experiment` — the
+  ``fleet-compare`` CLI experiment: Dimetrodon vs DVFS vs TCC vs
+  placement vs migration on identical racks (fig4 at fleet scale).
 
 See docs/fleet.md for the architecture and equivalence guarantees.
 """
 
-from .balancer import RoundRobinBalancer
+from .balancer import Balancer, RoundRobinBalancer
+from .compare import FleetCompareResult, fleet_compare_experiment
 from .experiment import FleetResult, fleet_experiment
 from .machine import FleetMachine, FleetNode
+from .scheduling import (
+    POLICY_NAMES,
+    CacheAwareMigrationPolicy,
+    MigrationCostModel,
+    MigrationPolicy,
+    PolicyBundle,
+    ThermalBalancer,
+    build_policy,
+)
 
 __all__ = [
+    "Balancer",
+    "CacheAwareMigrationPolicy",
+    "FleetCompareResult",
     "FleetMachine",
     "FleetNode",
     "FleetResult",
+    "MigrationCostModel",
+    "MigrationPolicy",
+    "POLICY_NAMES",
+    "PolicyBundle",
     "RoundRobinBalancer",
+    "ThermalBalancer",
+    "build_policy",
+    "fleet_compare_experiment",
     "fleet_experiment",
 ]

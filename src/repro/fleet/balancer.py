@@ -1,17 +1,28 @@
-"""A round-robin load balancer in front of per-machine web servers.
+"""The datacenter front door: one arrival stream, pluggable placement.
 
-The fleet experiment models the simplest datacenter front door: one
+The fleet experiments model the simplest datacenter topology: one
 aggregate Poisson arrival stream (the sum of every machine's §3.7
-connection pool) dispatched round-robin.  Round-robin splitting of a
-Poisson process gives each of ``N`` servers Erlang-``N`` interarrivals
-at ``1/N`` of the aggregate rate — same mean load as fig6's per-server
-Poisson stream, slightly smoother, which is exactly what a front-end
-balancer does to a rack.
+connection pool) dispatched across per-machine web servers.  How each
+arrival picks its machine is the *placement policy*:
+:class:`Balancer` owns the arrival loop, validation, and telemetry,
+and subclasses supply :meth:`Balancer.select`.
+
+- :class:`RoundRobinBalancer` (here) cycles machines blindly.
+  Round-robin splitting of a Poisson process gives each of ``N``
+  servers Erlang-``N`` interarrivals at ``1/N`` of the aggregate rate —
+  same mean load as fig6's per-server Poisson stream, slightly
+  smoother, which is exactly what a front-end balancer does to a rack.
+- :class:`~repro.fleet.scheduling.ThermalBalancer`
+  (``repro.fleet.scheduling``) routes by per-machine temperature.
 
 Routing goes through the target node's
 :class:`~repro.fleet.machine._NodeSimView` (a zero-delay scheduled
 callback), so the node's physics gap closes before the request mutates
 its queues — arrivals are node events like any other.
+
+Telemetry: ``fleet.balancer.routed`` counts total dispatches and
+``fleet.placement.m<j>`` counts arrivals per machine; the per-machine
+counters always sum to the total (pinned by tests).
 """
 
 from __future__ import annotations
@@ -27,8 +38,8 @@ from ..workloads.webserver import WebServer
 from .machine import FleetMachine
 
 
-class RoundRobinBalancer:
-    """Dispatches a fleet-level Poisson arrival stream round-robin.
+class Balancer:
+    """Dispatches a fleet-level Poisson arrival stream over the rack.
 
     Parameters
     ----------
@@ -43,7 +54,13 @@ class RoundRobinBalancer:
         Stream for the exponential interarrival draws (use a
         fleet-level stream, not a node's, so node randomness stays
         decorrelated from the front door).
+
+    Subclasses implement :meth:`select` — called once per arrival,
+    returning the index of the machine that receives it.
     """
+
+    #: Registry name of the policy (overridden by subclasses).
+    policy_name = "abstract"
 
     def __init__(
         self,
@@ -64,19 +81,23 @@ class RoundRobinBalancer:
         self.servers = list(servers)
         self.rate = float(rate)
         self._rng = rng
-        self._next = 0
         #: Requests routed to each node so far.
         self.routed: List[int] = [0] * len(self.servers)
-        self._metric_routed = _metrics_registry().scope("fleet.balancer").counter(
-            "routed"
-        )
+        scope = _metrics_registry().scope("fleet")
+        self._metric_routed = scope.counter("balancer.routed")
+        self._metric_placement = [
+            scope.counter(f"placement.m{j}") for j in range(len(self.servers))
+        ]
         self._process = Process(fleet.sim, self._arrival_loop())
+
+    def select(self) -> int:
+        """The machine index receiving the arrival that just fired."""
+        raise NotImplementedError
 
     def _arrival_loop(self):
         while True:
             yield float(self._rng.exponential(1.0 / self.rate))
-            index = self._next
-            self._next = (index + 1) % len(self.servers)
+            index = self.select()
             # Zero-delay hop through the node's sim view: the node's
             # physics gap closes before the server sees the request.
             self.fleet.nodes[index].simview.schedule(
@@ -84,6 +105,7 @@ class RoundRobinBalancer:
             )
             self.routed[index] += 1
             self._metric_routed.inc()
+            self._metric_placement[index].inc()
 
     def stop(self) -> None:
         """Stop generating arrivals."""
@@ -92,3 +114,25 @@ class RoundRobinBalancer:
     @property
     def total_routed(self) -> int:
         return sum(self.routed)
+
+
+class RoundRobinBalancer(Balancer):
+    """Dispatches the fleet-level arrival stream round-robin."""
+
+    policy_name = "round-robin"
+
+    def __init__(
+        self,
+        fleet: FleetMachine,
+        servers: Sequence[WebServer],
+        *,
+        rate: float,
+        rng: np.random.Generator,
+    ):
+        super().__init__(fleet, servers, rate=rate, rng=rng)
+        self._next = 0
+
+    def select(self) -> int:
+        index = self._next
+        self._next = (index + 1) % len(self.servers)
+        return index

@@ -1,0 +1,256 @@
+"""The ``fleet-compare`` CLI experiment: thermal techniques, rack-wide.
+
+Figure 4 compares Dimetrodon against DVFS and p4tcc on one machine.
+This experiment re-stages that comparison at rack scale and adds the
+techniques only a cluster has: thermal-aware placement and inter-chip
+migration (``repro.fleet.scheduling``), plus intra-chip heat-and-run
+(:class:`~repro.core.migration.ThermalMigrationPolicy`, attached
+per node through its sim view).  Every technique serves the same §3.7
+web workload on an identical rack; the report scores each by
+temperature (mean and peak rise over idle) against QoS retention, and
+marks the Pareto-efficient techniques via
+:func:`~repro.core.pareto.pareto_boundary` — the same non-domination
+analysis §3.4 applies to parameter sweeps, applied across techniques.
+
+Expectations mirror the paper's: DVFS trades throughput steeply but
+wins deep reductions; TCC pays QoS for little cooling (§3.4, "failing
+to achieve even 1:1"); placement/migration are nearly QoS-free but
+shallow (they spread heat, they don't remove it); injection sits in
+between; and injection + migration compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.migration import ThermalMigrationPolicy
+from ..core.pareto import TradeoffPoint, pareto_boundary
+from ..cpu.tcc import TccSetting
+from ..experiments.config import ExperimentConfig
+from ..experiments.reporting import format_table, percent
+from ..telemetry.registry import registry as _metrics_registry
+from ..workloads.webserver import QOS_TOLERABLE
+from .experiment import _FleetRun, _measure_rack, _offered_load
+from .machine import FleetNode
+
+
+@dataclass(frozen=True)
+class Technique:
+    """One row of the comparison: how a rack is configured."""
+
+    name: str
+    policy: str = "round-robin"
+    p: float = 0.0
+    dvfs_min: bool = False
+    tcc_duty: Optional[float] = None
+    heat_and_run: bool = False
+
+
+def techniques(p: float) -> List[Technique]:
+    """The comparison roster (baseline first; ``p`` is the injection
+    probability for the Dimetrodon rows)."""
+    return [
+        Technique("baseline"),
+        Technique("dimetrodon", p=p),
+        Technique("dvfs-min", dvfs_min=True),
+        Technique("tcc-50", tcc_duty=0.5),
+        Technique("heat-and-run", heat_and_run=True),
+        Technique("coolest", policy="coolest"),
+        Technique("migrate", policy="migrate"),
+        Technique("dimetrodon+migrate", policy="migrate", p=p),
+    ]
+
+
+@dataclass
+class TechniqueRow:
+    """One technique's rack-wide measurements."""
+
+    technique: Technique
+    run: _FleetRun
+    #: Intra-chip heat-and-run migrations summed over nodes (the
+    #: inter-chip count lives in ``run.migrations``).
+    core_migrations: int = 0
+
+    def tradeoff(self, baseline: _FleetRun, idle_mean: float) -> TradeoffPoint:
+        """Temperature reduction vs QoS-good reduction, fig4-style."""
+        baseline_rise = baseline.mean_temp - idle_mean
+        rise = self.run.mean_temp - idle_mean
+        reduction = (
+            (baseline_rise - rise) / baseline_rise if baseline_rise > 0 else 0.0
+        )
+        qos_reduction = (
+            1.0 - self.run.qos_good / baseline.qos_good
+            if baseline.qos_good > 0
+            else 0.0
+        )
+        return TradeoffPoint(
+            temp_reduction=reduction,
+            throughput_reduction=qos_reduction,
+            params={"technique": self.technique.name},
+        )
+
+
+@dataclass
+class FleetCompareResult:
+    """Cross-technique comparison over identical racks."""
+
+    machines: int
+    duration: float
+    p: float
+    idle_quantum: float
+    idle_mean_temp: float
+    offered_load_per_core: float
+    rows: List[TechniqueRow] = field(default_factory=list)
+
+    @property
+    def baseline(self) -> _FleetRun:
+        return self.rows[0].run
+
+    def tradeoffs(self) -> List[TradeoffPoint]:
+        """One point per non-baseline technique."""
+        return [
+            row.tradeoff(self.baseline, self.idle_mean_temp)
+            for row in self.rows[1:]
+        ]
+
+    def pareto_names(self) -> List[str]:
+        """Techniques on the (temp reduction, QoS reduction) frontier."""
+        return [
+            str(point.params["technique"])
+            for point in pareto_boundary(
+                [pt for pt in self.tradeoffs() if pt.temp_reduction >= 0]
+            )
+        ]
+
+    def render(self) -> str:
+        efficient = set(self.pareto_names())
+        baseline = self.baseline
+        table_rows = []
+        for row in self.rows:
+            run = row.run
+            rel_good = run.qos_good / baseline.qos_good if baseline.qos_good else 0.0
+            rel_tol = (
+                run.qos_tolerable / baseline.qos_tolerable
+                if baseline.qos_tolerable
+                else 0.0
+            )
+            table_rows.append(
+                [
+                    row.technique.name,
+                    run.mean_temp - self.idle_mean_temp,
+                    run.peak_temp - self.idle_mean_temp,
+                    percent(rel_good),
+                    percent(rel_tol),
+                    run.migrations + row.core_migrations,
+                    run.energy / 1e3,
+                    "*" if row.technique.name in efficient else "",
+                ]
+            )
+        title = (
+            f"Fleet technique comparison: {self.machines} machines x "
+            f"{self.duration:.0f}s web serving (p={self.p}, "
+            f"load/core {percent(self.offered_load_per_core)}; "
+            f"* = Pareto-efficient)"
+        )
+        return format_table(
+            [
+                "technique",
+                "rise [C]",
+                "peak [C]",
+                "QoS good",
+                "QoS tol.",
+                "migr",
+                "energy [kJ]",
+                "pareto",
+            ],
+            table_rows,
+            title=title,
+        )
+
+
+def _node_setup_for(
+    technique: Technique, core_policies: List[ThermalMigrationPolicy]
+) -> Optional[Callable[[FleetNode], object]]:
+    """Per-node configuration hook for ``technique`` (None if the
+    technique needs no node-level setup)."""
+    if not (
+        technique.dvfs_min or technique.tcc_duty is not None or technique.heat_and_run
+    ):
+        return None
+
+    def setup(node: FleetNode):
+        if technique.dvfs_min:
+            node.chip.set_operating_point(node.chip.dvfs_table.min_point)
+        if technique.tcc_duty is not None:
+            node.chip.set_tcc(TccSetting(duty=technique.tcc_duty))
+        if technique.heat_and_run:
+            # The reader sees the node's sampled telemetry (idle
+            # baseline before the first sample), like every other
+            # management-plane policy in this package.
+            def read_temps(node=node):
+                sample = node.templog.latest()
+                return node.fleet.idle_core_temps if sample is None else sample
+
+            policy = ThermalMigrationPolicy(
+                node.simview, node.scheduler, read_temps, period=1.0, min_delta=0.5
+            )
+            core_policies.append(policy)
+            return policy
+        return None
+
+    return setup
+
+
+def fleet_compare_experiment(
+    config: ExperimentConfig,
+    *,
+    machines: Optional[int] = None,
+    duration: Optional[float] = None,
+    p: float = 0.65,
+    idle_quantum: float = 0.050,
+    warmup: float = 5.0,
+) -> FleetCompareResult:
+    """Rack-wide cross-technique comparison (fig4 at fleet scale).
+
+    Each technique gets a fresh, identically seeded rack, so rows
+    differ only by the technique.  The comparison rack is smaller than
+    the plain ``fleet`` experiment's (8 racks run back to back): 4
+    machines on the fast preset, 64 with ``--full``.
+    """
+    if machines is None:
+        machines = 64 if config.characterization_duration >= 300.0 else 4
+    if duration is None:
+        duration = warmup + config.measure_window + QOS_TOLERABLE
+
+    metrics = _metrics_registry().scope("fleet")
+    result = FleetCompareResult(
+        machines=machines,
+        duration=duration,
+        p=p,
+        idle_quantum=idle_quantum,
+        idle_mean_temp=0.0,
+        offered_load_per_core=_offered_load(config),
+    )
+    for technique in techniques(p):
+        core_policies: List[ThermalMigrationPolicy] = []
+        fleet, run = _measure_rack(
+            config,
+            machines=machines,
+            duration=duration,
+            warmup=warmup,
+            p=technique.p,
+            idle_quantum=idle_quantum,
+            policy=technique.policy,
+            node_setup=_node_setup_for(technique, core_policies),
+        )
+        result.idle_mean_temp = fleet.idle_mean_temp
+        result.rows.append(
+            TechniqueRow(
+                technique=technique,
+                run=run,
+                core_migrations=sum(hr.migrations for hr in core_policies),
+            )
+        )
+        metrics.counter("compare.racks").inc()
+    return result

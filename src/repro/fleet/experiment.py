@@ -16,7 +16,7 @@ result cache do not apply here (see docs/running-experiments.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,8 +25,8 @@ from ..experiments.reporting import format_table, percent
 from ..sim.rng import RngRegistry
 from ..telemetry.registry import registry as _metrics_registry
 from ..workloads.webserver import QOS_GOOD, QOS_TOLERABLE, WebServer
-from .balancer import RoundRobinBalancer
-from .machine import FleetMachine
+from .machine import FleetMachine, FleetNode
+from .scheduling.registry import build_policy
 
 
 @dataclass
@@ -37,9 +37,12 @@ class _FleetRun:
     qos_tolerable: float
     mean_response: float
     mean_temp: float
+    peak_temp: float
     energy: float
     work_done: float
     requests: int
+    migrations: int = 0
+    migration_cost_s: float = 0.0
 
 
 @dataclass
@@ -57,6 +60,7 @@ class FleetResult:
     baseline: _FleetRun
     injected: _FleetRun
     chip_substeps_per_s: float
+    policy: str = "round-robin"
 
     def render(self) -> str:
         rows = [
@@ -65,9 +69,11 @@ class FleetResult:
                 0.0,
                 0.0,
                 self.baseline.mean_temp - self.idle_mean_temp,
+                self.baseline.peak_temp - self.idle_mean_temp,
                 percent(1.0),
                 percent(1.0),
                 self.baseline.mean_response,
+                self.baseline.migrations,
                 self.baseline.energy / 1e3,
                 self.baseline.work_done,
             ],
@@ -76,6 +82,7 @@ class FleetResult:
                 self.p,
                 self.idle_quantum * 1e3,
                 self.injected.mean_temp - self.idle_mean_temp,
+                self.injected.peak_temp - self.idle_mean_temp,
                 percent(self._relative(self.injected.qos_good, self.baseline.qos_good)),
                 percent(
                     self._relative(
@@ -83,13 +90,14 @@ class FleetResult:
                     )
                 ),
                 self.injected.mean_response,
+                self.injected.migrations,
                 self.injected.energy / 1e3,
                 self.injected.work_done,
             ],
         ]
         title = (
             f"Fleet: {self.machines} machines x {self.duration:.0f}s web serving "
-            f"(load/core {percent(self.offered_load_per_core)}, "
+            f"(policy {self.policy}, load/core {percent(self.offered_load_per_core)}, "
             f"temp reduction {percent(self.temp_reduction)}, "
             f"physics {_rate(self.chip_substeps_per_s)} chip-substeps/s)"
         )
@@ -99,9 +107,11 @@ class FleetResult:
                 "p",
                 "L [ms]",
                 "rise [C]",
+                "peak [C]",
                 "QoS good",
                 "QoS tol.",
                 "mean resp [s]",
+                "migr",
                 "energy [kJ]",
                 "work [CPU-s]",
             ],
@@ -120,6 +130,21 @@ def _rate(per_second: float) -> str:
     return f"{per_second / 1e3:.0f}k"
 
 
+def _peak_temp(fleet: FleetMachine, *, start: float) -> float:
+    """Hottest sampled core temperature anywhere in the rack from
+    ``start`` on (the rack's worst thermal excursion, fig2's peak
+    measured fleet-wide)."""
+    peak = -np.inf
+    for node in fleet.nodes:
+        times = node.templog.times
+        if times.size == 0:
+            continue
+        mask = times >= start
+        if np.any(mask):
+            peak = max(peak, float(node.templog.samples[mask].max()))
+    return peak if np.isfinite(peak) else fleet.idle_mean_temp
+
+
 def _measure_rack(
     config: ExperimentConfig,
     *,
@@ -128,24 +153,42 @@ def _measure_rack(
     warmup: float,
     p: float,
     idle_quantum: float,
+    policy: str = "round-robin",
+    node_setup: Optional[Callable[[FleetNode], Any]] = None,
 ) -> Tuple[FleetMachine, _FleetRun]:
-    """Build, load-balance, and run one rack; score its QoS window."""
+    """Build, load-balance, and run one rack; score its QoS window.
+
+    ``policy`` names the scheduling policy (``repro.fleet.scheduling``
+    registry).  ``node_setup``, when given, runs once per node before
+    the rack starts — the compare experiment uses it to program DVFS or
+    TCC and to attach per-node heat-and-run policies; any returned
+    object with a ``stop()`` method is stopped after the run.
+    """
     fleet = FleetMachine(config, machines=machines)
     servers: List[WebServer] = [
         WebServer(node.scheduler, node.rng.stream("web"), external_arrivals=True)
         for node in fleet.nodes
     ]
-    balancer = RoundRobinBalancer(
+    bundle = build_policy(
+        policy,
         fleet,
         servers,
         rate=machines * servers[0].arrival_rate,
         rng=RngRegistry(config.seed).stream("fleet-balancer"),
     )
+    attachments = []
+    if node_setup is not None:
+        for node in fleet.nodes:
+            attachment = node_setup(node)
+            if attachment is not None and hasattr(attachment, "stop"):
+                attachments.append(attachment)
     if p > 0:
         for node in fleet.nodes:
             node.control.set_global_policy(p, idle_quantum)
     fleet.run(duration)
-    balancer.stop()
+    bundle.stop()
+    for attachment in attachments:
+        attachment.stop()
 
     # Rack-wide QoS over the same window fig6 scores per machine:
     # requests arriving in [warmup, duration - QOS_TOLERABLE], pooled
@@ -161,9 +204,12 @@ def _measure_rack(
         qos_tolerable=tolerable / count if count else 1.0,
         mean_response=float(np.mean(answered)) if answered else float("inf"),
         mean_temp=fleet.mean_core_temp_over_window(),
+        peak_temp=_peak_temp(fleet, start=warmup),
         energy=fleet.total_energy(),
         work_done=fleet.total_work_done(),
         requests=count,
+        migrations=bundle.migrations,
+        migration_cost_s=bundle.migration_cost_seconds,
     )
     return fleet, run
 
@@ -176,6 +222,7 @@ def fleet_experiment(
     p: float = 0.65,
     idle_quantum: float = 0.050,
     warmup: float = 5.0,
+    policy: str = "round-robin",
 ) -> FleetResult:
     """Rack-wide QoS vs temperature reduction under idle injection.
 
@@ -184,6 +231,11 @@ def fleet_experiment(
     ``--full`` a 256-machine rack (the "hundreds of servers" scale) for
     its longer measurement window.  Every machine is a 4-core server
     from the shared config, node ``j`` seeded ``config.seed + j``.
+
+    ``policy`` selects the scheduling policy (``--policy`` on the CLI;
+    see :data:`repro.fleet.scheduling.POLICY_NAMES`) used by *both*
+    racks, so the report shows what injection buys under that policy.
+    The default reproduces the original round-robin experiment exactly.
     """
     if machines is None:
         # The presets differ only in timing; the longer paper-faithful
@@ -206,6 +258,7 @@ def fleet_experiment(
         warmup=warmup,
         p=0.0,
         idle_quantum=idle_quantum,
+        policy=policy,
     )
     _, injected = _measure_rack(
         config,
@@ -214,6 +267,7 @@ def fleet_experiment(
         warmup=warmup,
         p=p,
         idle_quantum=idle_quantum,
+        policy=policy,
     )
     substeps1, wall1 = _physics_totals()
 
@@ -237,6 +291,7 @@ def fleet_experiment(
         baseline=baseline,
         injected=injected,
         chip_substeps_per_s=(substeps1 - substeps0) / wall if wall > 0 else 0.0,
+        policy=policy,
     )
 
 

@@ -1,0 +1,133 @@
+"""Named scheduling policies for the fleet experiments.
+
+A *policy* is the front door plus (optionally) a migration manager:
+
+============  ==========================================  ==================
+name          placement                                   migration
+============  ==========================================  ==================
+round-robin   blind cyclic                                —
+coolest       coolest-first (Chrobak et al.)              —
+threshold     cool bucket round-robin, else coolest       —
+migrate       blind cyclic                                hot→cool, costed
+cache-aware   blind cyclic                                THEAS-style costed
+============  ==========================================  ==================
+
+``migrate`` and ``cache-aware`` deliberately keep round-robin
+placement so the cross-technique comparison isolates what migration
+alone buys; combining thermal placement with migration is one
+constructor call away for anyone who wants it.
+
+:func:`build_policy` is the single entry point the experiment and CLI
+use; unknown names raise :class:`~repro.errors.ConfigurationError`
+listing the registry.  Every bundle creates the ``fleet.migrations``
+and ``fleet.migration_cost_ms`` counters even when it has no migration
+manager, so every policy's run manifest carries the same counter set
+(zeros mean "policy cannot migrate", not "counter missing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ...telemetry.registry import registry as _metrics_registry
+from ...workloads.webserver import WebServer
+from ..balancer import Balancer, RoundRobinBalancer
+from ..machine import FleetMachine
+from .migration import CacheAwareMigrationPolicy, MigrationCostModel, MigrationPolicy
+from .placement import ThermalBalancer
+
+#: How far (°C) above the rack's idle baseline the threshold strategy
+#: places its cool/hot boundary.
+DEFAULT_THRESHOLD_RISE = 2.0
+
+#: Registry order is presentation order in the comparison table.
+POLICY_NAMES = ("round-robin", "coolest", "threshold", "migrate", "cache-aware")
+
+
+@dataclass
+class PolicyBundle:
+    """A constructed scheduling policy: balancer plus optional migration."""
+
+    name: str
+    balancer: Balancer
+    migration: Optional[MigrationPolicy] = None
+
+    def stop(self) -> None:
+        self.balancer.stop()
+        if self.migration is not None:
+            self.migration.stop()
+
+    @property
+    def migrations(self) -> int:
+        return 0 if self.migration is None else self.migration.migrations
+
+    @property
+    def migration_cost_seconds(self) -> float:
+        return 0.0 if self.migration is None else self.migration.total_cost_seconds
+
+
+def build_policy(
+    name: str,
+    fleet: FleetMachine,
+    servers: Sequence[WebServer],
+    *,
+    rate: float,
+    rng: np.random.Generator,
+    cost_model: Optional[MigrationCostModel] = None,
+) -> PolicyBundle:
+    """Construct the named policy over ``fleet``/``servers``.
+
+    ``cost_model`` overrides the default :class:`MigrationCostModel`
+    for the migrating policies (ignored by placement-only ones).
+    """
+    if name not in POLICY_NAMES:
+        raise ConfigurationError(
+            f"unknown scheduling policy {name!r} "
+            f"(known: {', '.join(POLICY_NAMES)})"
+        )
+    # Uniform counter set across policies: a round-robin manifest shows
+    # fleet.migrations == 0 rather than omitting the counter.
+    scope = _metrics_registry().scope("fleet")
+    scope.counter("migrations")
+    scope.counter("migration_cost_ms")
+
+    migration: Optional[MigrationPolicy] = None
+    if name == "coolest":
+        balancer: Balancer = ThermalBalancer(
+            fleet, servers, rate=rate, rng=rng, strategy="coolest"
+        )
+    elif name == "threshold":
+        threshold = float(np.mean(fleet.idle_core_temps)) + DEFAULT_THRESHOLD_RISE
+        balancer = ThermalBalancer(
+            fleet,
+            servers,
+            rate=rate,
+            rng=rng,
+            strategy="threshold",
+            threshold=threshold,
+        )
+    else:
+        balancer = RoundRobinBalancer(fleet, servers, rate=rate, rng=rng)
+        if name == "migrate":
+            migration = MigrationPolicy(fleet, servers, cost_model=cost_model)
+        elif name == "cache-aware":
+            migration = CacheAwareMigrationPolicy(
+                fleet, servers, cost_model=cost_model
+            )
+    return PolicyBundle(name=name, balancer=balancer, migration=migration)
+
+
+def policy_descriptions() -> List[str]:
+    """One ``name - summary`` line per registered policy (CLI help)."""
+    summaries = {
+        "round-robin": "blind cyclic placement (the PR6 baseline)",
+        "coolest": "coolest-first placement by sampled temperature",
+        "threshold": "round-robin below a temperature threshold",
+        "migrate": "round-robin placement + hot-to-cool queue migration",
+        "cache-aware": "migration only when thermal benefit buys warmup cost",
+    }
+    return [f"{name} - {summaries[name]}" for name in POLICY_NAMES]

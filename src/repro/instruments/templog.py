@@ -101,6 +101,20 @@ class TemperatureLog:
             return np.empty((0, self.num_cores or 0))
         return self._sample_buffer[: self._count].copy()
 
+    def latest(self) -> Optional[np.ndarray]:
+        """The most recent per-core sample (°C), or ``None`` before the
+        first sample lands.
+
+        This is the sensor view a management plane sees: reading it
+        costs nothing and — unlike a true-temperature read — does not
+        force the owning machine to integrate pending physics, so
+        telemetry-driven schedulers can poll it without perturbing the
+        simulation's substep structure.
+        """
+        if self._count == 0:
+            return None
+        return self._sample_buffer[self._count - 1].copy()
+
     def core_series(self, core: int) -> np.ndarray:
         if self._count == 0:
             raise AnalysisError("no temperature samples recorded")

@@ -27,7 +27,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from typing import Callable, Deque, List, Optional
 
 import numpy as np
 
@@ -213,6 +213,52 @@ class WebServer:
         return self._arrive()
 
     # ------------------------------------------------------------------
+    # Inter-machine request handoff (fleet migration)
+    # ------------------------------------------------------------------
+    def donate_queued(
+        self,
+        max_requests: int,
+        *,
+        accept: Optional[Callable[[Request], bool]] = None,
+    ) -> List[Request]:
+        """Give up to ``max_requests`` not-yet-started requests for
+        migration to another server.
+
+        Only requests sitting in the user-level ready queue are
+        eligible: a request still in the kernel's interrupt queue has
+        connection state that cannot be transferred, and a running
+        request's thread context stays put (intra-chip migration is
+        :class:`repro.core.migration.ThermalMigrationPolicy`'s job).
+        Requests pop newest-first so the source queue keeps FIFO order
+        for its oldest — most latency-critical — work.  ``accept``,
+        when given, is consulted per request; donation stops at the
+        first refusal (the queue tail is age-ordered, so later entries
+        would only be costlier).
+
+        The donated requests stay in this server's :attr:`log` — the
+        request arrived *here*, and fleet-level QoS scoring pools logs
+        across servers, so moving the log entry would double-count.
+        """
+        donated: List[Request] = []
+        while self.ready_requests and len(donated) < max_requests:
+            candidate = self.ready_requests[-1]
+            if accept is not None and not accept(candidate):
+                break
+            donated.append(self.ready_requests.pop())
+        return donated
+
+    def accept_migrated(self, request: Request) -> None:
+        """Receive a request handed off from another server.
+
+        The request joins the ready queue and a blocked worker is woken,
+        exactly like a locally delivered request — but it is *not*
+        logged here: its log entry (and therefore its response-time
+        accounting) lives with the server it arrived at.
+        """
+        self.ready_requests.append(request)
+        self._wake_worker()
+
+    # ------------------------------------------------------------------
     def _arrival_loop(self):
         while True:
             yield float(self.rng.exponential(1.0 / self.arrival_rate))
@@ -237,6 +283,9 @@ class WebServer:
     def _deliver_to_user(self, request: Request) -> None:
         """Kernel finished the network event; hand off to a worker."""
         self.ready_requests.append(request)
+        self._wake_worker()
+
+    def _wake_worker(self) -> None:
         for worker in self.workers:
             if worker.state is ThreadState.BLOCKED:
                 self.scheduler.wake(worker)

@@ -308,3 +308,77 @@ def test_manifest_records_failures_and_resume(tmp_path):
     runner = resumed.runner
     assert runner["executed"] == 0 and runner["cache_hits"] == 0
     assert runner["replayed"] == runner["submitted"] == 5
+
+
+# ======================================================================
+# Scheduling policy flag (--policy)
+# ======================================================================
+def test_parser_accepts_policy_flag():
+    args = build_parser().parse_args(["fleet", "--policy", "coolest"])
+    assert args.experiment == "fleet"
+    assert args.policy == "coolest"
+    assert build_parser().parse_args(["fleet"]).policy is None
+
+
+def test_unknown_policy_is_a_configuration_error_not_a_traceback(capsys):
+    assert main(["fleet", "--policy", "warmest-first"]) == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "unknown scheduling policy" in captured.err
+    assert "round-robin" in captured.err  # the known names are listed
+    assert "Traceback" not in captured.err + captured.out
+
+
+def test_policy_flag_rejected_for_non_fleet_experiments(capsys):
+    assert main(["fig1", "--policy", "coolest"]) == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "Traceback" not in captured.err + captured.out
+
+
+def test_run_experiment_rejects_policy_for_non_fleet():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        run_experiment("fig1", seed=0, policy="coolest")
+
+
+@pytest.mark.slow
+def test_fleet_policies_end_to_end_with_manifests(tmp_path, capsys):
+    """The acceptance run: `python -m repro fleet --policy <name>` for
+    every registered policy, each writing a manifest that carries the
+    migration counters and per-machine placement histogram."""
+    from repro.fleet.scheduling import POLICY_NAMES
+    from repro.telemetry import RunManifest
+
+    for name in POLICY_NAMES:
+        manifest_path = tmp_path / f"{name}.json"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--policy",
+                    name,
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--metrics",
+                    str(manifest_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"policy {name}" in out
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.experiments == ["fleet"]
+        assert "fleet.migrations" in manifest.metrics
+        assert "fleet.migration_cost_ms" in manifest.metrics
+        assert manifest.metrics["fleet.balancer.routed"]["value"] > 0
+        placement = [
+            manifest.metrics[key]["value"]
+            for key in manifest.metrics
+            if key.startswith("fleet.placement.m")
+        ]
+        assert sum(placement) == manifest.metrics["fleet.balancer.routed"]["value"]
+        if name in ("migrate", "cache-aware"):
+            assert manifest.metrics["fleet.migrations"]["value"] >= 0

@@ -8,11 +8,18 @@ from repro.cli import EXPERIMENTS, supports_runner
 from repro.cpu.power import FleetCoefficients, PowerCoefficients
 from repro.errors import ConfigurationError
 from repro.experiments import Machine, fast_config
-from repro.fleet import FleetMachine, RoundRobinBalancer, fleet_experiment
+from repro.fleet import (
+    FleetMachine,
+    RoundRobinBalancer,
+    ThermalBalancer,
+    fleet_compare_experiment,
+    fleet_experiment,
+)
+from repro.fleet.scheduling import MigrationPolicy, build_policy
 from repro.sim.rng import RngRegistry
 from repro.telemetry.registry import isolated
 from repro.workloads import CpuBurn
-from repro.workloads.webserver import WebServer
+from repro.workloads.webserver import Request, WebServer
 
 
 def _drive_burn(machine_like, *, threads=2, p=0.5, quantum=0.010):
@@ -221,5 +228,141 @@ def test_fleet_experiment_smoke():
     assert result.injected.requests > 0
     assert result.baseline_rise > 0.0
     assert result.chip_substeps_per_s > 0.0
+    assert result.policy == "round-robin"
+    assert result.baseline.peak_temp >= result.baseline.mean_temp
     rendered = result.render()
     assert "baseline" in rendered and "dimetrodon" in rendered
+    assert "round-robin" in rendered
+
+
+# ======================================================================
+# Scheduling policies over the fleet (repro.fleet.scheduling)
+# ======================================================================
+def _external_servers(fleet):
+    return [
+        WebServer(node.scheduler, node.rng.stream("web"), external_arrivals=True)
+        for node in fleet.nodes
+    ]
+
+
+def test_single_machine_fleet_policies_degenerate_gracefully():
+    """N=1: every balancer routes everything to machine 0, and the
+    migration policy can never find a distinct target."""
+    cfg = fast_config(0)
+    fleet = FleetMachine(cfg, machines=1)
+    servers = _external_servers(fleet)
+    rng = RngRegistry(cfg.seed).stream("fleet-balancer")
+    balancer = ThermalBalancer(fleet, servers, rate=servers[0].arrival_rate, rng=rng)
+    migration = MigrationPolicy(fleet, servers, period=0.5)
+    fleet.run(4.0)
+    balancer.stop()
+    migration.stop()
+
+    assert balancer.routed == [balancer.total_routed]
+    assert balancer.total_routed > 0
+    assert len(servers[0].log.requests) == balancer.total_routed
+    assert migration.migrations == 0
+    assert migration.blocked_cycles > 0
+
+
+def test_policy_bundle_rejects_server_count_mismatch():
+    cfg = fast_config(0)
+    fleet = FleetMachine(cfg, machines=2)
+    servers = _external_servers(fleet)
+    rng = RngRegistry(cfg.seed).stream("fleet-balancer")
+    with pytest.raises(ConfigurationError):
+        build_policy("coolest", fleet, servers[:1], rate=10.0, rng=rng)
+    with pytest.raises(ConfigurationError):
+        build_policy("migrate", fleet, [], rate=10.0, rng=rng)
+
+
+def test_idle_machine_accepts_migrated_request_mid_substep():
+    """A machine whose run queue is completely empty receives a
+    migrated request in the middle of a physics substep: the delivery
+    must close its gap, wake a blocked worker, and serve the request —
+    without the request appearing in the target's own log."""
+    cfg = fast_config(0)
+    fleet = FleetMachine(cfg, machines=2)
+    servers = _external_servers(fleet)
+    # Machine 0 works (so the fleet has real substep traffic); machine
+    # 1 does nothing at all until the hand-off lands at t=2.
+    fleet.nodes[0].scheduler.spawn(CpuBurn())
+    stray = Request(rid=999, arrival=2.0, service_time=0.2)
+    fleet.nodes[1].simview.schedule(2.0, servers[1].accept_migrated, stray)
+    fleet.run(5.0)
+
+    assert stray.completed is not None
+    assert 2.0 < stray.completed < 5.0
+    assert all(r is not stray for r in servers[1].log.requests)
+    # Serving it produced heat on the otherwise idle machine.
+    assert fleet.nodes[1].total_work_done() == pytest.approx(
+        stray.service_time, rel=0.01
+    )
+
+
+def test_fleet_migration_telemetry_is_additive():
+    """fleet.migrations equals the sum of the per-machine source
+    counters and the policy's own event history."""
+    with isolated() as reg:
+        cfg = fast_config(0)
+        fleet = FleetMachine(cfg, machines=2)
+        servers = [
+            WebServer(
+                node.scheduler,
+                node.rng.stream("web"),
+                external_arrivals=True,
+                service_mean=0.5,
+                num_workers=1,
+            )
+            for node in fleet.nodes
+        ]
+        for k in range(20):
+            fleet.nodes[0].simview.schedule(0.01 * k, servers[0].submit_request)
+        policy = MigrationPolicy(fleet, servers, period=0.5, min_delta=0.05)
+        fleet.run(6.0)
+        policy.stop()
+
+        assert policy.migrations > 0
+        total = reg.value("fleet.migrations")
+        per_machine = sum(
+            reg.value(f"fleet.migrations.m{j}", 0) for j in range(2)
+        )
+        assert total == per_machine == policy.migrations
+
+
+def test_fleet_experiment_with_migration_policy():
+    result = fleet_experiment(
+        fast_config(0), machines=2, duration=8.0, warmup=1.0, policy="migrate"
+    )
+    assert result.policy == "migrate"
+    assert result.baseline.migrations >= 0
+    assert result.injected.migrations >= 0
+    assert "migrate" in result.render()
+
+
+def test_fleet_compare_experiment_smoke():
+    result = fleet_compare_experiment(
+        fast_config(0), machines=2, duration=8.0, warmup=1.0
+    )
+    names = [row.technique.name for row in result.rows]
+    assert names[0] == "baseline"
+    assert {"dimetrodon", "dvfs-min", "tcc-50", "heat-and-run", "migrate"} <= set(
+        names
+    )
+    assert len(result.tradeoffs()) == len(result.rows) - 1
+    # Something must be Pareto-efficient, and it can't be the baseline.
+    assert result.pareto_names()
+    assert "baseline" not in result.pareto_names()
+    rendered = result.render()
+    assert "technique" in rendered and "pareto" in rendered
+    # DVFS at the minimum point must actually cool the rack.
+    by_name = {row.technique.name: row for row in result.rows}
+    assert by_name["dvfs-min"].run.mean_temp < by_name["baseline"].run.mean_temp
+    assert by_name["dimetrodon"].run.mean_temp < by_name["baseline"].run.mean_temp
+
+
+def test_fleet_compare_registered_as_serial():
+    assert "fleet-compare" in EXPERIMENTS
+    _, func = EXPERIMENTS["fleet-compare"]
+    assert func is fleet_compare_experiment
+    assert not supports_runner(func)
