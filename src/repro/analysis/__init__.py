@@ -1,6 +1,16 @@
-"""Downstream analyses of thermal results: reliability and cooling cost."""
+"""Downstream analyses: reliability, cooling cost, and SLO scoring."""
 
 from .cooling import HOURS_PER_YEAR, CoolingModel
 from .reliability import BOLTZMANN_EV, ReliabilityModel
+from .slo import PERCENTILES, SloReport, WindowScore, score_windows
 
-__all__ = ["BOLTZMANN_EV", "CoolingModel", "HOURS_PER_YEAR", "ReliabilityModel"]
+__all__ = [
+    "BOLTZMANN_EV",
+    "CoolingModel",
+    "HOURS_PER_YEAR",
+    "PERCENTILES",
+    "ReliabilityModel",
+    "SloReport",
+    "WindowScore",
+    "score_windows",
+]

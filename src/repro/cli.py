@@ -57,7 +57,7 @@ from .experiments import (
 from .errors import ConfigurationError
 from .experiments.reporting import format_failure_report
 from .faults import FaultPlan
-from .fleet import fleet_compare_experiment, fleet_experiment
+from .fleet import fleet_compare_experiment, fleet_experiment, scenarios_experiment
 from .fleet.scheduling import POLICY_NAMES
 from .runtime import (
     ParallelRunner,
@@ -88,6 +88,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fleet-compare": (
         "thermal techniques compared rack-wide (fig4 at fleet scale)",
         fleet_compare_experiment,
+    ),
+    "scenarios": (
+        "injection x load shape x policy sweep with windowed SLO scoring",
+        scenarios_experiment,
     ),
     "table1": ("SPEC CPU2006 profiles and fits", table1_spec_workloads),
     "validate-throughput": ("throughput model validation (§3.3)", validate_throughput_model),
@@ -191,7 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy",
         metavar="NAME",
         default=None,
-        help="scheduling policy for the fleet experiment "
+        help="scheduling policy for the fleet/scenarios experiments "
         f"({', '.join(POLICY_NAMES)}; see docs/fleet.md)",
     )
     return parser
@@ -220,7 +224,7 @@ def validate_policy(experiment: str, policy: Optional[str]) -> None:
     if func is None or not supports_policy(func):
         raise ConfigurationError(
             f"--policy applies only to experiments that take a scheduling "
-            f"policy (fleet), not {experiment!r}"
+            f"policy (fleet, scenarios), not {experiment!r}"
         )
 
 
@@ -287,6 +291,7 @@ def run_experiment(
     runner: Optional[ParallelRunner] = None,
     timings: Optional[Dict[str, float]] = None,
     policy: Optional[str] = None,
+    artifacts: Optional[Dict[str, object]] = None,
 ) -> str:
     """Run one experiment and return its rendered text.
 
@@ -294,6 +299,9 @@ def run_experiment(
     under its name (the manifest records these).  ``policy`` is passed
     through to experiments that take a scheduling policy (the fleet);
     asking for it elsewhere is a :class:`ConfigurationError`.
+    ``artifacts``, when given, collects ``result.manifest_payload()``
+    under the experiment's name for results that define it (the
+    ``scenarios`` experiment's per-window SLO series).
     """
     config = full_config(seed) if full else fast_config(seed)
     _, func = EXPERIMENTS[name]
@@ -319,6 +327,8 @@ def run_experiment(
         status = f"[{name}: {elapsed:.1f}s wall]"
     if timings is not None:
         timings[name] = elapsed
+    if artifacts is not None and hasattr(result, "manifest_payload"):
+        artifacts[name] = result.manifest_payload()
     return f"{result.render()}\n{status}"
 
 
@@ -331,6 +341,7 @@ def build_manifest(
     metrics_registry: MetricsRegistry,
     timings: Dict[str, float],
     resumed: bool = False,
+    artifacts: Optional[Dict[str, object]] = None,
 ) -> RunManifest:
     """Assemble the run manifest for one CLI invocation."""
     config = full_config(seed) if full else fast_config(seed)
@@ -348,6 +359,7 @@ def build_manifest(
         cache=dataclasses.asdict(runner.cache.stats) if runner.cache else None,
         failures=runner.failure_report.to_dict() if runner.failure_report else None,
         metrics=metrics_registry.snapshot(),
+        artifacts=artifacts or {},
     )
 
 
@@ -380,6 +392,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         timings: Dict[str, float] = {}
+        artifacts: Dict[str, object] = {}
         try:
             for name in names:
                 print(
@@ -390,6 +403,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         runner=runner,
                         timings=timings,
                         policy=args.policy,
+                        artifacts=artifacts,
                     )
                 )
                 print()
@@ -405,6 +419,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     metrics_registry=metrics_registry,
                     timings=timings,
                     resumed=args.resume,
+                    artifacts=artifacts,
                 )
                 path = manifest.write(args.metrics)
                 print(f"[manifest written to {path}]", file=sys.stderr)

@@ -14,7 +14,11 @@ structure-of-arrays batched physics.
   without idle injection, under a selectable scheduling policy;
 - :func:`~repro.fleet.compare.fleet_compare_experiment` — the
   ``fleet-compare`` CLI experiment: Dimetrodon vs DVFS vs TCC vs
-  placement vs migration on identical racks (fig4 at fleet scale).
+  placement vs migration on identical racks (fig4 at fleet scale);
+- :func:`~repro.fleet.scenarios.scenarios_experiment` — the
+  ``scenarios`` CLI experiment: injection probability × load shape
+  (diurnal/surge/bursty/trace) × policy, scored with the windowed SLO
+  scorer (see docs/scenarios.md).
 
 See docs/fleet.md for the architecture and equivalence guarantees.
 """
@@ -23,6 +27,12 @@ from .balancer import Balancer, RoundRobinBalancer
 from .compare import FleetCompareResult, fleet_compare_experiment
 from .experiment import FleetResult, fleet_experiment
 from .machine import FleetMachine, FleetNode
+from .scenarios import (
+    SCENARIO_SHAPES,
+    ScenariosResult,
+    build_scenario_arrivals,
+    scenarios_experiment,
+)
 from .scheduling import (
     POLICY_NAMES,
     CacheAwareMigrationPolicy,
@@ -45,8 +55,12 @@ __all__ = [
     "POLICY_NAMES",
     "PolicyBundle",
     "RoundRobinBalancer",
+    "SCENARIO_SHAPES",
+    "ScenariosResult",
     "ThermalBalancer",
     "build_policy",
+    "build_scenario_arrivals",
     "fleet_compare_experiment",
     "fleet_experiment",
+    "scenarios_experiment",
 ]

@@ -27,19 +27,20 @@ counters always sum to the total (pinned by tests).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..sim.process import Process
 from ..telemetry.registry import registry as _metrics_registry
+from ..workloads.loadshapes import ArrivalProcess
 from ..workloads.webserver import WebServer
 from .machine import FleetMachine
 
 
 class Balancer:
-    """Dispatches a fleet-level Poisson arrival stream over the rack.
+    """Dispatches a fleet-level arrival stream over the rack.
 
     Parameters
     ----------
@@ -49,11 +50,18 @@ class Balancer:
         One :class:`~repro.workloads.webserver.WebServer` per fleet
         node, in node order, built with ``external_arrivals=True``.
     rate:
-        Aggregate arrival rate, requests/s.
+        Nominal aggregate arrival rate, requests/s.  Without
+        ``arrivals`` this is the homogeneous Poisson rate; with it, the
+        rate the rack is *sized* for (reports quote it either way).
     rng:
-        Stream for the exponential interarrival draws (use a
-        fleet-level stream, not a node's, so node randomness stays
-        decorrelated from the front door).
+        Stream for the arrival draws (use a fleet-level stream, not a
+        node's, so node randomness stays decorrelated from the front
+        door).
+    arrivals:
+        Optional :class:`~repro.workloads.loadshapes.ArrivalProcess`
+        replacing the fixed-rate Poisson stream — diurnal/surge/bursty
+        shapes, trace replays, or any superposition.  A finite process
+        (trace replay) simply stops generating arrivals when exhausted.
 
     Subclasses implement :meth:`select` — called once per arrival,
     returning the index of the machine that receives it.
@@ -69,6 +77,7 @@ class Balancer:
         *,
         rate: float,
         rng: np.random.Generator,
+        arrivals: Optional[ArrivalProcess] = None,
     ):
         if len(servers) != fleet.num_machines:
             raise ConfigurationError(
@@ -80,6 +89,7 @@ class Balancer:
         self.fleet = fleet
         self.servers = list(servers)
         self.rate = float(rate)
+        self.arrivals = arrivals
         self._rng = rng
         #: Requests routed to each node so far.
         self.routed: List[int] = [0] * len(self.servers)
@@ -94,9 +104,18 @@ class Balancer:
         """The machine index receiving the arrival that just fired."""
         raise NotImplementedError
 
+    def _gap_stream(self):
+        """Interarrival gaps: the configured arrival process, or the
+        default homogeneous Poisson stream at :attr:`rate`."""
+        if self.arrivals is None:
+            while True:
+                yield float(self._rng.exponential(1.0 / self.rate))
+        else:
+            yield from self.arrivals.gaps(self._rng)
+
     def _arrival_loop(self):
-        while True:
-            yield float(self._rng.exponential(1.0 / self.rate))
+        for gap in self._gap_stream():
+            yield gap
             index = self.select()
             # Zero-delay hop through the node's sim view: the node's
             # physics gap closes before the server sees the request.
@@ -128,8 +147,9 @@ class RoundRobinBalancer(Balancer):
         *,
         rate: float,
         rng: np.random.Generator,
+        arrivals: Optional[ArrivalProcess] = None,
     ):
-        super().__init__(fleet, servers, rate=rate, rng=rng)
+        super().__init__(fleet, servers, rate=rate, rng=rng, arrivals=arrivals)
         self._next = 0
 
     def select(self) -> int:

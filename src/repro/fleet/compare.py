@@ -234,7 +234,7 @@ def fleet_compare_experiment(
     )
     for technique in techniques(p):
         core_policies: List[ThermalMigrationPolicy] = []
-        fleet, run = _measure_rack(
+        measurement = _measure_rack(
             config,
             machines=machines,
             duration=duration,
@@ -244,7 +244,8 @@ def fleet_compare_experiment(
             policy=technique.policy,
             node_setup=_node_setup_for(technique, core_policies),
         )
-        result.idle_mean_temp = fleet.idle_mean_temp
+        run = measurement.run
+        result.idle_mean_temp = measurement.fleet.idle_mean_temp
         result.rows.append(
             TechniqueRow(
                 technique=technique,

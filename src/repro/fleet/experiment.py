@@ -24,6 +24,7 @@ from ..experiments.config import ExperimentConfig
 from ..experiments.reporting import format_table, percent
 from ..sim.rng import RngRegistry
 from ..telemetry.registry import registry as _metrics_registry
+from ..workloads.loadshapes import ArrivalProcess
 from ..workloads.webserver import QOS_GOOD, QOS_TOLERABLE, WebServer
 from .machine import FleetMachine, FleetNode
 from .scheduling.registry import build_policy
@@ -145,6 +146,23 @@ def _peak_temp(fleet: FleetMachine, *, start: float) -> float:
     return peak if np.isfinite(peak) else fleet.idle_mean_temp
 
 
+@dataclass
+class RackMeasurement:
+    """One rack run with everything downstream scoring needs: the
+    fleet (thermal state, telemetry), the per-node servers (request
+    logs — the ``scenarios`` experiment pools them for windowed SLO
+    scoring), and the aggregate :class:`_FleetRun` numbers."""
+
+    fleet: FleetMachine
+    servers: List[WebServer]
+    run: _FleetRun
+
+    def pooled_requests(self):
+        """Every request logged anywhere in the rack (arrival order is
+        per-server; windowed scoring does not need a global sort)."""
+        return [r for s in self.servers for r in s.log.requests]
+
+
 def _measure_rack(
     config: ExperimentConfig,
     *,
@@ -155,7 +173,8 @@ def _measure_rack(
     idle_quantum: float,
     policy: str = "round-robin",
     node_setup: Optional[Callable[[FleetNode], Any]] = None,
-) -> Tuple[FleetMachine, _FleetRun]:
+    arrivals: Optional[ArrivalProcess] = None,
+) -> RackMeasurement:
     """Build, load-balance, and run one rack; score its QoS window.
 
     ``policy`` names the scheduling policy (``repro.fleet.scheduling``
@@ -163,6 +182,8 @@ def _measure_rack(
     the rack starts — the compare experiment uses it to program DVFS or
     TCC and to attach per-node heat-and-run policies; any returned
     object with a ``stop()`` method is stopped after the run.
+    ``arrivals`` replaces the front door's fixed-rate Poisson stream
+    with a shaped arrival process (see ``repro.workloads.loadshapes``).
     """
     fleet = FleetMachine(config, machines=machines)
     servers: List[WebServer] = [
@@ -175,6 +196,7 @@ def _measure_rack(
         servers,
         rate=machines * servers[0].arrival_rate,
         rng=RngRegistry(config.seed).stream("fleet-balancer"),
+        arrivals=arrivals,
     )
     attachments = []
     if node_setup is not None:
@@ -191,17 +213,19 @@ def _measure_rack(
         attachment.stop()
 
     # Rack-wide QoS over the same window fig6 scores per machine:
-    # requests arriving in [warmup, duration - QOS_TOLERABLE], pooled
-    # across every server (unanswered requests count as failures).
+    # requests arriving in [warmup, duration - QOS_TOLERABLE), pooled
+    # across every server (unanswered requests count as failures).  A
+    # windowless rack (possible under a trough-heavy shape) scores NaN,
+    # the same no-data convention as RequestLog.qos_fraction.
     start, end = warmup, duration - QOS_TOLERABLE
     window = [r for s in servers for r in s.log.arrived_in(start, end)]
-    answered = [r.response_time for r in window if r.completed is not None]
+    answered = [r.response_time for r in window if r.response_time is not None]
     count = len(window)
     good = sum(1 for t in answered if t <= QOS_GOOD)
     tolerable = sum(1 for t in answered if t <= QOS_TOLERABLE)
     run = _FleetRun(
-        qos_good=good / count if count else 1.0,
-        qos_tolerable=tolerable / count if count else 1.0,
+        qos_good=good / count if count else float("nan"),
+        qos_tolerable=tolerable / count if count else float("nan"),
         mean_response=float(np.mean(answered)) if answered else float("inf"),
         mean_temp=fleet.mean_core_temp_over_window(),
         peak_temp=_peak_temp(fleet, start=warmup),
@@ -211,7 +235,7 @@ def _measure_rack(
         migrations=bundle.migrations,
         migration_cost_s=bundle.migration_cost_seconds,
     )
-    return fleet, run
+    return RackMeasurement(fleet=fleet, servers=servers, run=run)
 
 
 def fleet_experiment(
@@ -251,7 +275,7 @@ def fleet_experiment(
         return float(metrics.value("fleet.substeps", 0)), float(wall)
 
     substeps0, wall0 = _physics_totals()
-    base_fleet, baseline = _measure_rack(
+    base_measurement = _measure_rack(
         config,
         machines=machines,
         duration=duration,
@@ -260,7 +284,8 @@ def fleet_experiment(
         idle_quantum=idle_quantum,
         policy=policy,
     )
-    _, injected = _measure_rack(
+    base_fleet, baseline = base_measurement.fleet, base_measurement.run
+    injected = _measure_rack(
         config,
         machines=machines,
         duration=duration,
@@ -268,7 +293,7 @@ def fleet_experiment(
         p=p,
         idle_quantum=idle_quantum,
         policy=policy,
-    )
+    ).run
     substeps1, wall1 = _physics_totals()
 
     idle_mean = base_fleet.idle_mean_temp

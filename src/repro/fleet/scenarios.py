@@ -1,0 +1,475 @@
+"""The ``scenarios`` CLI experiment: injection × load shape × policy.
+
+The paper evaluates the web workload at one operating point — a fixed
+Poisson arrival rate (§3.7).  Production traffic is not flat, and the
+regimes where preventive injection's "defer work now" trade-off bites
+are exactly the time-varying ones: a diurnal trough gives injection
+free thermal headroom, a flash crowd punishes any deferred capacity,
+and heavy-tailed bursts stress the backlog the paper warns about
+("deferring idle cycles ... increases processor load and heat").
+
+This experiment sweeps injection probability × load shape across the
+scheduling-policy registry (:mod:`repro.fleet.scheduling`), serving
+every cell on an identically seeded rack.  Each run is scored with the
+windowed SLO scorer (:mod:`repro.analysis.slo`): per-window
+good/tolerable/failed fractions over half-open windows, worst-window
+and time-in-violation summaries — the numbers a whole-run average
+hides.  Per shape, the non-baseline cells form a QoS-vs-temperature
+Pareto frontier (:func:`~repro.core.pareto.pareto_boundary`), and the
+full per-window series lands in the run manifest via
+:meth:`ScenariosResult.manifest_payload` (``--metrics``).
+
+Load shapes (registry: :data:`SCENARIO_SHAPES`):
+
+``constant``   the paper's fixed-rate reference point;
+``diurnal``    one sinusoidal day/night cycle compressed into the run;
+``surge``      a flash crowd: 2x the nominal rate for the middle fifth;
+``bursty``     Poisson baseline + Pareto-sized request bursts;
+``trace``      a frozen trace synthesized once from a composed
+               diurnal+surge shape and replayed bit-identically for
+               every policy and ``p`` (trace-driven arrivals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.slo import SloReport, score_windows
+from ..core.pareto import TradeoffPoint, pareto_boundary
+from ..errors import ConfigurationError
+from ..experiments.config import ExperimentConfig
+from ..experiments.reporting import format_table, percent
+from ..sim.rng import RngRegistry
+from ..telemetry.registry import registry as _metrics_registry
+from ..workloads.loadshapes import (
+    ArrivalProcess,
+    ConstantLoad,
+    DiurnalLoad,
+    MergedArrivals,
+    ParetoBurstArrivals,
+    PoissonArrivals,
+    StepLoad,
+    TraceArrivals,
+    synthesize_request_trace,
+)
+from ..workloads.webserver import QOS_GOOD, QOS_TOLERABLE
+from .experiment import _measure_rack, _offered_load, _FleetRun
+from .scheduling.registry import POLICY_NAMES
+
+#: Shape registry order is presentation order in the report.
+SCENARIO_SHAPES = ("constant", "diurnal", "surge", "bursty", "trace")
+
+#: Default policy subset for the sweep (the full registry makes the
+#: grid 5x larger for little extra signal; ``--policy`` narrows to one).
+DEFAULT_POLICIES = ("round-robin", "coolest", "migrate")
+
+#: Default injection probabilities (0 is the per-shape baseline and is
+#: always included even if the caller drops it).
+DEFAULT_P_VALUES = (0.0, 0.4, 0.8)
+
+
+def build_scenario_arrivals(
+    name: str,
+    *,
+    rate: float,
+    duration: float,
+    rng: np.random.Generator,
+) -> ArrivalProcess:
+    """Construct the named shape's arrival process for a rack sized for
+    ``rate`` requests/s aggregate, over a ``duration``-second run.
+
+    ``rng`` is consumed only by the ``trace`` shape (to synthesize the
+    frozen trace); the live shapes draw from the balancer's stream at
+    run time.  Unknown names raise :class:`ConfigurationError` listing
+    the registry.
+    """
+    if name == "constant":
+        return PoissonArrivals(ConstantLoad(rate))
+    if name == "diurnal":
+        # One full day/night cycle compressed into the run: the trough
+        # is where injection gets free headroom, the crest where it
+        # must pay the deferred work back.
+        return PoissonArrivals(
+            DiurnalLoad(rate, amplitude=0.6, period=duration, phase=0.0)
+        )
+    if name == "surge":
+        # Flash crowd: double the nominal rate for the middle fifth.
+        return PoissonArrivals(
+            StepLoad(
+                0.75 * rate,
+                2.0 * rate,
+                start=0.4 * duration,
+                duration=0.2 * duration,
+            )
+        )
+    if name == "bursty":
+        # 70% smooth Poisson baseline + 30% of the load arriving as
+        # Pareto-sized bursts (heavy-tailed bunching).
+        burst_mean = 40.0
+        return MergedArrivals(
+            PoissonArrivals(ConstantLoad(0.7 * rate)),
+            ParetoBurstArrivals(
+                burst_rate=0.3 * rate / burst_mean,
+                mean_burst_size=burst_mean,
+                alpha=1.5,
+                in_burst_rate=max(4.0 * rate, 100.0),
+            ),
+        )
+    if name == "trace":
+        # Freeze a composed diurnal+surge shape into a concrete trace:
+        # every policy/p cell replays bit-identical arrival times.
+        shape = DiurnalLoad(
+            0.7 * rate, amplitude=0.5, period=duration
+        ) + StepLoad(
+            0.0, 0.6 * rate, start=0.5 * duration, duration=0.15 * duration
+        )
+        trace = synthesize_request_trace(rng, duration=duration, shape=shape)
+        return TraceArrivals(trace)
+    raise ConfigurationError(
+        f"unknown load shape {name!r} (known: {', '.join(SCENARIO_SHAPES)})"
+    )
+
+
+@dataclass
+class ScenarioRow:
+    """One cell of the sweep: a rack run under (shape, policy, p)."""
+
+    shape: str
+    policy: str
+    p: float
+    run: _FleetRun
+    report: SloReport
+    #: Whole-run p95 response time over answered requests in the
+    #: scoring span, seconds (None when nothing was answered).
+    p95_response: Optional[float] = None
+
+
+def _tradeoff(
+    row: ScenarioRow, baseline: ScenarioRow, idle_mean: float
+) -> Optional[TradeoffPoint]:
+    """Temperature reduction vs QoS-good reduction against the shape's
+    baseline cell, or None when either side carries no data."""
+    good = row.report.good_fraction
+    base_good = baseline.report.good_fraction
+    if good is None or base_good is None or base_good <= 0:
+        return None
+    baseline_rise = baseline.run.mean_temp - idle_mean
+    rise = row.run.mean_temp - idle_mean
+    reduction = (baseline_rise - rise) / baseline_rise if baseline_rise > 0 else 0.0
+    return TradeoffPoint(
+        temp_reduction=reduction,
+        throughput_reduction=1.0 - good / base_good,
+        params={"policy": row.policy, "p": row.p},
+    )
+
+
+@dataclass
+class ScenariosResult:
+    """The full sweep: one :class:`ScenarioRow` per grid cell, plus the
+    per-shape Pareto frontiers and manifest serialization."""
+
+    machines: int
+    duration: float
+    warmup: float
+    window: float
+    idle_quantum: float
+    idle_mean_temp: float
+    offered_load_per_core: float
+    shapes: List[str]
+    policies: List[str]
+    p_values: List[float]
+    rows: List[ScenarioRow] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def shape_rows(self, shape: str) -> List[ScenarioRow]:
+        return [row for row in self.rows if row.shape == shape]
+
+    def baseline_for(self, shape: str) -> ScenarioRow:
+        """The shape's reference cell: the first policy at ``p=0``."""
+        for row in self.shape_rows(shape):
+            if row.policy == self.policies[0] and row.p == 0.0:
+                return row
+        raise ConfigurationError(f"no baseline cell for shape {shape!r}")
+
+    def tradeoffs(self, shape: str) -> List[TradeoffPoint]:
+        """One (temp reduction, QoS reduction) point per non-baseline
+        cell of ``shape`` that carries data."""
+        baseline = self.baseline_for(shape)
+        points = []
+        for row in self.shape_rows(shape):
+            if row is baseline:
+                continue
+            point = _tradeoff(row, baseline, self.idle_mean_temp)
+            if point is not None:
+                points.append(point)
+        return points
+
+    def pareto(self, shape: str) -> List[TradeoffPoint]:
+        """The shape's Pareto-efficient cells (cooling >= 0 only)."""
+        return pareto_boundary(
+            [pt for pt in self.tradeoffs(shape) if pt.temp_reduction >= 0]
+        )
+
+    def _efficient_keys(self) -> set:
+        keys = set()
+        for shape in self.shapes:
+            for point in self.pareto(shape):
+                keys.add((shape, point.params["policy"], point.params["p"]))
+        return keys
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        efficient = self._efficient_keys()
+        table_rows = []
+        for row in self.rows:
+            summary = row.report.summary()
+            worst = summary["worst_window_good"]
+            table_rows.append(
+                [
+                    row.shape,
+                    row.policy,
+                    row.p,
+                    row.run.mean_temp - self.idle_mean_temp,
+                    row.run.peak_temp - self.idle_mean_temp,
+                    _pct(summary["good_fraction"]),
+                    _pct(summary["tolerable_fraction"]),
+                    _pct(worst),
+                    summary["time_in_violation_s"],
+                    "n/a" if row.p95_response is None else row.p95_response,
+                    row.run.migrations,
+                    "*" if (row.shape, row.policy, row.p) in efficient else "",
+                ]
+            )
+        title = (
+            f"Scenarios: {self.machines} machines x {self.duration:.0f}s, "
+            f"{len(self.shapes)} shapes x {len(self.policies)} policies x "
+            f"{len(self.p_values)} p values "
+            f"(window {self.window:.1f}s, nominal load/core "
+            f"{percent(self.offered_load_per_core)}; * = Pareto-efficient "
+            f"within its shape)"
+        )
+        parts = [
+            format_table(
+                [
+                    "shape",
+                    "policy",
+                    "p",
+                    "rise [C]",
+                    "peak [C]",
+                    "QoS good",
+                    "QoS tol.",
+                    "worst win",
+                    "viol [s]",
+                    "p95 [s]",
+                    "migr",
+                    "pareto",
+                ],
+                table_rows,
+                title=title,
+            )
+        ]
+        for shape in self.shapes:
+            frontier = self.pareto(shape)
+            if not frontier:
+                continue
+            cells = ", ".join(
+                f"{pt.params['policy']}@p={pt.params['p']:g} "
+                f"(cool {percent(pt.temp_reduction)}, "
+                f"QoS cost {percent(pt.throughput_reduction)})"
+                for pt in frontier
+            )
+            parts.append(f"pareto[{shape}]: {cells}")
+        return "\n".join(parts)
+
+    # ------------------------------------------------------------------
+    def manifest_payload(self) -> Dict[str, object]:
+        """JSON-safe artifact for the run manifest: per-cell window
+        series + summaries and the per-shape Pareto tables.
+
+        Contains no NaN/Inf anywhere (``None`` is the no-data marker),
+        so the manifest stays strict JSON (``allow_nan=False`` clean).
+        """
+        runs = []
+        for row in self.rows:
+            runs.append(
+                {
+                    "shape": row.shape,
+                    "policy": row.policy,
+                    "p": row.p,
+                    "summary": row.report.summary(),
+                    "series": row.report.series(),
+                    "mean_temp": _json_safe(row.run.mean_temp),
+                    "peak_temp": _json_safe(row.run.peak_temp),
+                    "rise": _json_safe(row.run.mean_temp - self.idle_mean_temp),
+                    "energy": _json_safe(row.run.energy),
+                    "requests": row.run.requests,
+                    "migrations": row.run.migrations,
+                    "p95_response": _json_safe(row.p95_response),
+                }
+            )
+        pareto: Dict[str, list] = {}
+        for shape in self.shapes:
+            efficient = {
+                (pt.params["policy"], pt.params["p"]) for pt in self.pareto(shape)
+            }
+            pareto[shape] = [
+                {
+                    "policy": pt.params["policy"],
+                    "p": pt.params["p"],
+                    "temp_reduction": _json_safe(pt.temp_reduction),
+                    "qos_reduction": _json_safe(pt.throughput_reduction),
+                    "efficient": (pt.params["policy"], pt.params["p"]) in efficient,
+                }
+                for pt in self.tradeoffs(shape)
+            ]
+        return {
+            "machines": self.machines,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "window": self.window,
+            "idle_quantum": self.idle_quantum,
+            "idle_mean_temp": _json_safe(self.idle_mean_temp),
+            "good_threshold": QOS_GOOD,
+            "tolerable_threshold": QOS_TOLERABLE,
+            "shapes": list(self.shapes),
+            "policies": list(self.policies),
+            "p_values": list(self.p_values),
+            "runs": runs,
+            "pareto": pareto,
+        }
+
+
+def _pct(fraction: Optional[float]) -> str:
+    return "n/a" if fraction is None else percent(fraction)
+
+
+def _json_safe(value: Optional[float]) -> Optional[float]:
+    """NaN/Inf become None (JSON null), everything else passes through."""
+    if value is None:
+        return None
+    value = float(value)
+    return value if np.isfinite(value) else None
+
+
+def scenarios_experiment(
+    config: ExperimentConfig,
+    *,
+    machines: Optional[int] = None,
+    duration: Optional[float] = None,
+    shapes: Optional[Sequence[str]] = None,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    p_values: Sequence[float] = DEFAULT_P_VALUES,
+    idle_quantum: float = 0.050,
+    warmup: float = 5.0,
+    window: Optional[float] = None,
+    policy: Optional[str] = None,
+) -> ScenariosResult:
+    """Sweep injection probability × load shape × scheduling policy.
+
+    Every cell runs a fresh, identically seeded rack, so cells differ
+    only by (shape, policy, p).  The fast preset runs a 2-machine rack
+    (the grid is the cost driver, not the rack), ``--full`` 16
+    machines.  ``policy`` (the CLI ``--policy``) narrows the policy
+    axis to one name; otherwise :data:`DEFAULT_POLICIES` is swept.
+    ``p = 0`` is always included — it is each shape's QoS/thermal
+    baseline for the Pareto frontier.
+
+    Scoring: requests arriving in ``[warmup, duration - 5s)`` are
+    pooled rack-wide and scored in half-open windows of ``window``
+    seconds (default: a fifth of the scoring span).
+    """
+    if machines is None:
+        machines = 16 if config.characterization_duration >= 300.0 else 2
+    if duration is None:
+        duration = warmup + config.measure_window + QOS_TOLERABLE
+    score_start, score_end = warmup, duration - QOS_TOLERABLE
+    if score_end <= score_start:
+        raise ConfigurationError(
+            f"duration {duration}s leaves no scoring span past the "
+            f"{warmup}s warmup and {QOS_TOLERABLE}s drain"
+        )
+    if window is None:
+        window = max(1.0, (score_end - score_start) / 5.0)
+    if policy is not None:
+        policies = (policy,)
+    for name in policies:
+        if name not in POLICY_NAMES:
+            raise ConfigurationError(
+                f"unknown scheduling policy {name!r} "
+                f"(known: {', '.join(POLICY_NAMES)})"
+            )
+    shapes = tuple(shapes) if shapes is not None else SCENARIO_SHAPES
+    p_values = tuple(p_values)
+    if 0.0 not in p_values:
+        p_values = (0.0,) + p_values
+
+    # Nominal aggregate rate the rack is sized for (what one balancer
+    # feeds round-robin in the plain fleet experiment).
+    connections, think_time = 440, 11.0
+    rate = machines * connections / think_time
+    trace_rng = RngRegistry(config.seed).stream("scenario-trace")
+
+    metrics = _metrics_registry().scope("scenarios")
+    result = ScenariosResult(
+        machines=machines,
+        duration=duration,
+        warmup=warmup,
+        window=window,
+        idle_quantum=idle_quantum,
+        idle_mean_temp=0.0,
+        offered_load_per_core=_offered_load(config),
+        shapes=list(shapes),
+        policies=list(policies),
+        p_values=list(p_values),
+    )
+    for shape_name in shapes:
+        # One arrival process per shape, shared by every cell: the
+        # trace shape is synthesized once (bit-identical replay), and
+        # the stochastic shapes draw from the balancer's own stream,
+        # which is identically seeded per rack.
+        arrivals = build_scenario_arrivals(
+            shape_name, rate=rate, duration=duration, rng=trace_rng
+        )
+        for policy_name in policies:
+            for p in p_values:
+                measurement = _measure_rack(
+                    config,
+                    machines=machines,
+                    duration=duration,
+                    warmup=warmup,
+                    p=p,
+                    idle_quantum=idle_quantum,
+                    policy=policy_name,
+                    arrivals=arrivals,
+                )
+                result.idle_mean_temp = measurement.fleet.idle_mean_temp
+                pooled = measurement.pooled_requests()
+                report = score_windows(
+                    pooled, start=score_start, end=score_end, window=window
+                )
+                answered = sorted(
+                    r.response_time
+                    for r in pooled
+                    if score_start <= r.arrival < score_end
+                    and r.response_time is not None
+                )
+                p95 = (
+                    float(np.percentile(answered, 95.0)) if answered else None
+                )
+                result.rows.append(
+                    ScenarioRow(
+                        shape=shape_name,
+                        policy=policy_name,
+                        p=p,
+                        run=measurement.run,
+                        report=report,
+                        p95_response=p95,
+                    )
+                )
+                metrics.counter("racks").inc()
+                metrics.counter("windows").inc(len(report.windows))
+                metrics.counter("requests").inc(report.total_arrivals)
+    return result

@@ -34,6 +34,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ...errors import ConfigurationError
+from ...workloads.loadshapes import ArrivalProcess
 from ...workloads.webserver import WebServer
 from ..balancer import Balancer
 from ..machine import FleetMachine
@@ -94,6 +95,7 @@ class ThermalBalancer(Balancer):
         strategy: str = "coolest",
         threshold: Optional[float] = None,
         temperature_source: Optional[Callable[[], Sequence[float]]] = None,
+        arrivals: Optional[ArrivalProcess] = None,
     ):
         if strategy not in STRATEGIES:
             raise ConfigurationError(
@@ -104,7 +106,7 @@ class ThermalBalancer(Balancer):
             raise ConfigurationError(
                 "the threshold strategy needs a temperature threshold (°C)"
             )
-        super().__init__(fleet, servers, rate=rate, rng=rng)
+        super().__init__(fleet, servers, rate=rate, rng=rng, arrivals=arrivals)
         self.strategy = strategy
         self.threshold = None if threshold is None else float(threshold)
         self._read_temps = (

@@ -34,6 +34,7 @@ import numpy as np
 
 from ...errors import ConfigurationError
 from ...telemetry.registry import registry as _metrics_registry
+from ...workloads.loadshapes import ArrivalProcess
 from ...workloads.webserver import WebServer
 from ..balancer import Balancer, RoundRobinBalancer
 from ..machine import FleetMachine
@@ -78,11 +79,15 @@ def build_policy(
     rate: float,
     rng: np.random.Generator,
     cost_model: Optional[MigrationCostModel] = None,
+    arrivals: Optional[ArrivalProcess] = None,
 ) -> PolicyBundle:
     """Construct the named policy over ``fleet``/``servers``.
 
     ``cost_model`` overrides the default :class:`MigrationCostModel`
     for the migrating policies (ignored by placement-only ones).
+    ``arrivals`` replaces the front door's fixed-rate Poisson stream
+    with a shaped :class:`~repro.workloads.loadshapes.ArrivalProcess`
+    (the ``scenarios`` experiment's diurnal/surge/bursty traffic).
     """
     if name not in POLICY_NAMES:
         raise ConfigurationError(
@@ -98,7 +103,7 @@ def build_policy(
     migration: Optional[MigrationPolicy] = None
     if name == "coolest":
         balancer: Balancer = ThermalBalancer(
-            fleet, servers, rate=rate, rng=rng, strategy="coolest"
+            fleet, servers, rate=rate, rng=rng, strategy="coolest", arrivals=arrivals
         )
     elif name == "threshold":
         threshold = float(np.mean(fleet.idle_core_temps)) + DEFAULT_THRESHOLD_RISE
@@ -109,9 +114,12 @@ def build_policy(
             rng=rng,
             strategy="threshold",
             threshold=threshold,
+            arrivals=arrivals,
         )
     else:
-        balancer = RoundRobinBalancer(fleet, servers, rate=rate, rng=rng)
+        balancer = RoundRobinBalancer(
+            fleet, servers, rate=rate, rng=rng, arrivals=arrivals
+        )
         if name == "migrate":
             migration = MigrationPolicy(fleet, servers, cost_model=cost_model)
         elif name == "cache-aware":

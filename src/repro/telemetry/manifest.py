@@ -74,6 +74,11 @@ class RunManifest:
     failures: Optional[Dict[str, Any]] = None
     #: Aggregated MetricsRegistry snapshot for the whole invocation.
     metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Per-experiment structured artifacts (``name -> payload``) from
+    #: results exposing ``manifest_payload()`` — e.g. the ``scenarios``
+    #: experiment's per-window SLO series and Pareto tables.  Payloads
+    #: must be strict JSON (no NaN/Inf; ``None`` is the no-data marker).
+    artifacts: Dict[str, Any] = dataclasses.field(default_factory=dict)
     schema: int = MANIFEST_SCHEMA_VERSION
 
     # ------------------------------------------------------------------

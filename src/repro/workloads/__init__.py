@@ -1,7 +1,20 @@
-"""Workload generators: cpuburn, SPEC profiles, mixes, web serving."""
+"""Workload generators: cpuburn, SPEC profiles, mixes, web serving,
+traces, and time-varying load shapes."""
 
 from .base import BLOCK, Burst, NextBurst, SyntheticWorkload, Workload
 from .cpuburn import CpuBurn, DutyCycledBurn, FiniteCpuBurn
+from .loadshapes import (
+    ArrivalProcess,
+    ConstantLoad,
+    DiurnalLoad,
+    LoadShape,
+    MergedArrivals,
+    ParetoBurstArrivals,
+    PoissonArrivals,
+    StepLoad,
+    TraceArrivals,
+    synthesize_request_trace,
+)
 from .mixes import HotCoolMix, build_hot_cool_mix
 from .spec import (
     TABLE1_FIT,
@@ -12,30 +25,46 @@ from .spec import (
     all_benchmarks,
     spec_profile,
 )
-from .traces import TraceWorkload, synthesize_bursty_trace, trace_utilization
+from .traces import (
+    RequestTrace,
+    TraceWorkload,
+    synthesize_bursty_trace,
+    trace_utilization,
+)
 from .webserver import QOS_GOOD, QOS_TOLERABLE, Request, RequestLog, WebServer
 
 __all__ = [
+    "ArrivalProcess",
     "BLOCK",
     "Burst",
+    "ConstantLoad",
     "CpuBurn",
+    "DiurnalLoad",
     "DutyCycledBurn",
     "FiniteCpuBurn",
     "HotCoolMix",
+    "LoadShape",
+    "MergedArrivals",
     "NextBurst",
+    "ParetoBurstArrivals",
+    "PoissonArrivals",
     "QOS_GOOD",
     "QOS_TOLERABLE",
     "Request",
     "RequestLog",
+    "RequestTrace",
     "SpecProfile",
     "SpecWorkload",
+    "StepLoad",
     "SyntheticWorkload",
     "TABLE1_FIT",
     "TABLE1_RISE_PERCENT",
+    "TraceArrivals",
     "TraceWorkload",
     "WebServer",
     "Workload",
     "synthesize_bursty_trace",
+    "synthesize_request_trace",
     "trace_utilization",
     "activity_for_rise",
     "all_benchmarks",

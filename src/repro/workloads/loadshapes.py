@@ -1,0 +1,414 @@
+"""Rate-over-time load shapes and the arrival processes they drive.
+
+The paper evaluates the web workload at one operating point: open-loop
+Poisson arrivals at a fixed SPECWeb-like rate (§3.7).  Real services
+see *time-varying* load — diurnal cycles, step surges from flash
+crowds, heavy-tailed request bunching — and those are exactly the
+regimes where preventive injection's "defer work now, pay thermal debt
+later" trade-off bites.  This module provides the primitives the
+``scenarios`` experiment sweeps:
+
+- :class:`LoadShape` — a deterministic rate function ``r(t)`` in
+  requests/s, with composition (``shape_a + shape_b``, ``0.5 * shape``)
+  and an envelope (:meth:`LoadShape.peak_rate`) for exact thinning;
+- :class:`ConstantLoad` / :class:`DiurnalLoad` / :class:`StepLoad` —
+  the fixed-rate reference, a sinusoidal day/night cycle, and a flash
+  crowd (or maintenance trough) between two instants;
+- :class:`ArrivalProcess` — a stream of interarrival gaps.
+  :class:`PoissonArrivals` samples a non-homogeneous Poisson process
+  from any shape by Lewis–Shedler thinning; :class:`ParetoBurstArrivals`
+  adds heavy-tailed batches (Pareto-sized bursts at Poisson epochs);
+  :class:`TraceArrivals` replays an explicit
+  :class:`~repro.workloads.traces.RequestTrace`;
+  :class:`MergedArrivals` superposes any of the above;
+- :func:`synthesize_request_trace` — freeze a shape into a concrete
+  arrival-timestamp trace (the request-level analogue of
+  :func:`~repro.workloads.traces.synthesize_bursty_trace`).
+
+All processes are driven by an explicit ``numpy`` Generator so runs
+stay deterministic under the repo's named-stream RNG discipline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .traces import RequestTrace
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantLoad",
+    "DiurnalLoad",
+    "LoadShape",
+    "MergedArrivals",
+    "ParetoBurstArrivals",
+    "PoissonArrivals",
+    "StepLoad",
+    "TraceArrivals",
+    "synthesize_request_trace",
+]
+
+
+# ----------------------------------------------------------------------
+# Rate-over-time shapes
+# ----------------------------------------------------------------------
+class LoadShape:
+    """A deterministic arrival-rate profile ``rate(t)``, requests/s.
+
+    Subclasses implement :meth:`rate` and :meth:`peak_rate`; the peak
+    is the thinning envelope, so it must satisfy
+    ``rate(t) <= peak_rate()`` for all ``t >= 0`` (an over-estimate is
+    correct, just slower to sample).
+    """
+
+    def rate(self, t: float) -> float:
+        raise NotImplementedError
+
+    def peak_rate(self) -> float:
+        """An upper bound on :meth:`rate` over ``t >= 0``."""
+        raise NotImplementedError
+
+    def mean_rate(self, start: float, end: float, *, samples: int = 512) -> float:
+        """Mean rate over ``[start, end)`` (trapezoidal estimate)."""
+        if end <= start:
+            raise WorkloadError(f"empty rate window [{start}, {end})")
+        ts = np.linspace(start, end, samples)
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy<2
+        return float(trapezoid([self.rate(t) for t in ts], ts) / (end - start))
+
+    # -- composition ----------------------------------------------------
+    def __add__(self, other: "LoadShape") -> "LoadShape":
+        if not isinstance(other, LoadShape):
+            return NotImplemented
+        return ComposedLoad((self, other))
+
+    def __mul__(self, factor: float) -> "LoadShape":
+        return ScaledLoad(self, factor)
+
+    __rmul__ = __mul__
+
+
+class ConstantLoad(LoadShape):
+    """The paper's operating point: a fixed rate (homogeneous Poisson
+    once sampled)."""
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise WorkloadError(f"constant rate must be positive, got {rate}")
+        self._rate = float(rate)
+
+    def rate(self, t: float) -> float:
+        return self._rate
+
+    def peak_rate(self) -> float:
+        return self._rate
+
+    def mean_rate(self, start: float, end: float, *, samples: int = 512) -> float:
+        if end <= start:
+            raise WorkloadError(f"empty rate window [{start}, {end})")
+        return self._rate
+
+
+class DiurnalLoad(LoadShape):
+    """A sinusoidal day/night cycle around a base rate.
+
+    ``rate(t) = base * (1 + amplitude * sin(2π (t - phase) / period))``
+    with relative ``amplitude`` in ``[0, 1]`` so the trough never goes
+    negative (amplitude 1 means the trough rate is exactly zero).
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        *,
+        amplitude: float = 0.5,
+        period: float = 86400.0,
+        phase: float = 0.0,
+    ):
+        if base_rate <= 0:
+            raise WorkloadError(f"base rate must be positive, got {base_rate}")
+        if not 0.0 <= amplitude <= 1.0:
+            raise WorkloadError(f"relative amplitude must be in [0, 1], got {amplitude}")
+        if period <= 0:
+            raise WorkloadError(f"period must be positive, got {period}")
+        self.base_rate = float(base_rate)
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self.phase = float(phase)
+
+    def rate(self, t: float) -> float:
+        cycle = math.sin(2.0 * math.pi * (t - self.phase) / self.period)
+        return self.base_rate * (1.0 + self.amplitude * cycle)
+
+    def peak_rate(self) -> float:
+        return self.base_rate * (1.0 + self.amplitude)
+
+
+class StepLoad(LoadShape):
+    """A step surge (or trough): ``surge_rate`` inside the half-open
+    window ``[start, start + duration)``, ``base_rate`` outside."""
+
+    def __init__(
+        self, base_rate: float, surge_rate: float, *, start: float, duration: float
+    ):
+        if base_rate < 0 or surge_rate < 0:
+            raise WorkloadError("rates must be non-negative")
+        if max(base_rate, surge_rate) <= 0:
+            raise WorkloadError("at least one of base/surge rate must be positive")
+        if duration <= 0:
+            raise WorkloadError(f"surge duration must be positive, got {duration}")
+        self.base_rate = float(base_rate)
+        self.surge_rate = float(surge_rate)
+        self.start = float(start)
+        self.duration = float(duration)
+
+    def rate(self, t: float) -> float:
+        if self.start <= t < self.start + self.duration:
+            return self.surge_rate
+        return self.base_rate
+
+    def peak_rate(self) -> float:
+        return max(self.base_rate, self.surge_rate)
+
+
+class ComposedLoad(LoadShape):
+    """Sum of shapes (superposed traffic classes)."""
+
+    def __init__(self, shapes: Sequence[LoadShape]):
+        if not shapes:
+            raise WorkloadError("composition needs at least one shape")
+        flattened: List[LoadShape] = []
+        for shape in shapes:
+            if isinstance(shape, ComposedLoad):
+                flattened.extend(shape.shapes)
+            else:
+                flattened.append(shape)
+        self.shapes = tuple(flattened)
+
+    def rate(self, t: float) -> float:
+        return sum(shape.rate(t) for shape in self.shapes)
+
+    def peak_rate(self) -> float:
+        # Sum of peaks: a valid (possibly loose) envelope.
+        return sum(shape.peak_rate() for shape in self.shapes)
+
+
+class ScaledLoad(LoadShape):
+    """A shape scaled by a non-negative factor (e.g. per-machine share
+    of a rack-level profile)."""
+
+    def __init__(self, shape: LoadShape, factor: float):
+        if factor < 0:
+            raise WorkloadError(f"scale factor must be >= 0, got {factor}")
+        self.shape = shape
+        self.factor = float(factor)
+
+    def rate(self, t: float) -> float:
+        return self.factor * self.shape.rate(t)
+
+    def peak_rate(self) -> float:
+        return self.factor * self.shape.peak_rate()
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+class ArrivalProcess:
+    """A stream of interarrival gaps driving open-loop request arrivals.
+
+    :meth:`gaps` returns an iterator of non-negative gaps, seconds; a
+    zero gap encodes batched (simultaneous) arrivals.  The iterator may
+    be infinite (Poisson, bursts) or finite (trace replay) — consumers
+    stop generating arrivals when it is exhausted.  Each call must
+    return a fresh, independent iterator.
+    """
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """A (generally non-homogeneous) Poisson process over a shape.
+
+    Sampled by Lewis–Shedler thinning: candidate points arrive at the
+    envelope rate :meth:`LoadShape.peak_rate` and are kept with
+    probability ``rate(t) / peak``, which yields exactly the
+    inhomogeneous process — no discretization of the rate function.
+    For :class:`ConstantLoad` every candidate is kept and this reduces
+    to the paper's homogeneous arrival loop.
+    """
+
+    def __init__(self, shape: LoadShape):
+        peak = shape.peak_rate()
+        if not peak > 0:
+            raise WorkloadError(f"shape peak rate must be positive, got {peak}")
+        self.shape = shape
+        self._peak = float(peak)
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        peak = self._peak
+        shape = self.shape
+        now = 0.0
+        last = 0.0
+        while True:
+            now += float(rng.exponential(1.0 / peak))
+            if rng.random() * peak <= shape.rate(now):
+                yield now - last
+                last = now
+
+
+class ParetoBurstArrivals(ArrivalProcess):
+    """Heavy-tailed request bunching: Pareto-sized bursts at Poisson
+    epochs.
+
+    Burst epochs form a homogeneous Poisson process at ``burst_rate``;
+    each burst brings ``N`` requests with ``N`` drawn from a Pareto
+    distribution with tail index ``alpha`` scaled so its mean is
+    ``mean_burst_size`` (``alpha > 1`` keeps the mean finite; smaller
+    ``alpha`` means wilder flash crowds).  Within a burst, requests are
+    spaced by exponential gaps at ``in_burst_rate`` — a burst is a
+    spike, not a literal batch, unless ``in_burst_rate`` is ``inf``.
+
+    Superpose over a baseline with :class:`MergedArrivals`::
+
+        MergedArrivals(PoissonArrivals(ConstantLoad(30.0)),
+                       ParetoBurstArrivals(burst_rate=0.05,
+                                           mean_burst_size=200))
+    """
+
+    def __init__(
+        self,
+        *,
+        burst_rate: float,
+        mean_burst_size: float,
+        alpha: float = 1.5,
+        in_burst_rate: float = 200.0,
+    ):
+        if burst_rate <= 0:
+            raise WorkloadError(f"burst_rate must be positive, got {burst_rate}")
+        if mean_burst_size < 1:
+            raise WorkloadError(
+                f"mean_burst_size must be >= 1, got {mean_burst_size}"
+            )
+        if alpha <= 1:
+            raise WorkloadError(
+                f"alpha must be > 1 for a finite mean burst size, got {alpha}"
+            )
+        if in_burst_rate <= 0:
+            raise WorkloadError(f"in_burst_rate must be positive, got {in_burst_rate}")
+        self.burst_rate = float(burst_rate)
+        self.mean_burst_size = float(mean_burst_size)
+        self.alpha = float(alpha)
+        self.in_burst_rate = float(in_burst_rate)
+        #: Pareto scale x_m chosen so E[N] = alpha*x_m/(alpha-1) hits
+        #: the requested mean.
+        self._scale = self.mean_burst_size * (self.alpha - 1.0) / self.alpha
+
+    def mean_rate(self) -> float:
+        """Long-run request rate, requests/s (bursts × mean size)."""
+        return self.burst_rate * self.mean_burst_size
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        in_burst = self.in_burst_rate
+        while True:
+            yield float(rng.exponential(1.0 / self.burst_rate))
+            # numpy's pareto() is the Lomax tail; shift+scale gives the
+            # classical Pareto with minimum self._scale.
+            size = int(max(1, round(self._scale * (1.0 + rng.pareto(self.alpha)))))
+            for _ in range(size - 1):
+                yield 0.0 if math.isinf(in_burst) else float(
+                    rng.exponential(1.0 / in_burst)
+                )
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay an explicit :class:`~repro.workloads.traces.RequestTrace`.
+
+    With ``loop=True`` the trace repeats end to end (its last arrival
+    time becomes the period); otherwise arrivals simply stop when the
+    trace is exhausted — an open-loop run past the end of the trace
+    sees no further load.
+    """
+
+    def __init__(self, trace: RequestTrace, *, loop: bool = False):
+        if loop and trace.duration <= 0:
+            raise WorkloadError("cannot loop a trace with zero duration")
+        self.trace = trace
+        self.loop = loop
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        while True:
+            yield from self.trace.gaps()
+            if not self.loop:
+                return
+
+
+class MergedArrivals(ArrivalProcess):
+    """Superposition of arrival processes (k-way merge on arrival time).
+
+    Each constituent gets an independent child generator spawned
+    deterministically from the caller's, so merging does not perturb
+    any one stream's draws.
+    """
+
+    def __init__(self, *processes: ArrivalProcess):
+        if not processes:
+            raise WorkloadError("merge needs at least one arrival process")
+        self.processes = tuple(processes)
+
+    def gaps(self, rng: np.random.Generator) -> Iterator[float]:
+        heap: List = []
+        for index, process in enumerate(self.processes):
+            child = np.random.default_rng(rng.integers(2**63))
+            stream = process.gaps(child)
+            first = next(stream, None)
+            if first is not None:
+                heapq.heappush(heap, (first, index, stream))
+        last = 0.0
+        while heap:
+            time, index, stream = heapq.heappop(heap)
+            yield time - last
+            last = time
+            gap = next(stream, None)
+            if gap is not None:
+                heapq.heappush(heap, (time + gap, index, stream))
+
+
+def synthesize_request_trace(
+    rng: np.random.Generator,
+    *,
+    duration: float,
+    shape: Optional[LoadShape] = None,
+    process: Optional[ArrivalProcess] = None,
+) -> RequestTrace:
+    """Freeze ``duration`` seconds of an arrival process into a trace.
+
+    Give either a ``shape`` (sampled as a non-homogeneous Poisson
+    process) or an explicit ``process``; the resulting
+    :class:`~repro.workloads.traces.RequestTrace` replays bit-identical
+    arrivals however often it is reused — the request-arrival analogue
+    of :func:`~repro.workloads.traces.synthesize_bursty_trace`.
+    """
+    if duration <= 0:
+        raise WorkloadError(f"duration must be positive, got {duration}")
+    if (shape is None) == (process is None):
+        raise WorkloadError("give exactly one of shape= or process=")
+    if process is None:
+        process = PoissonArrivals(shape)
+    times: List[float] = []
+    elapsed = 0.0
+    for gap in process.gaps(rng):
+        elapsed += gap
+        if elapsed >= duration:
+            break
+        times.append(elapsed)
+    if not times:
+        raise WorkloadError(
+            f"no arrivals in {duration}s; raise the rate or the duration"
+        )
+    return RequestTrace(tuple(times))

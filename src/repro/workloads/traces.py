@@ -1,16 +1,24 @@
-"""Trace-driven workloads.
+"""Trace-driven workloads: CPU-burst traces and request-arrival traces.
 
 Real deployments rarely look like cpuburn: utilization arrives in
 bursts with think time between them.  :class:`TraceWorkload` replays an
 explicit (cpu_time, gap) trace — recorded from a production system or
 synthesised — through the normal scheduler path, so injection policies
 can be evaluated against arbitrary utilization shapes.
+
+:class:`RequestTrace` extends the same idea from CPU bursts to
+*request arrivals*: an explicit list of arrival timestamps (recorded
+access-log style, or synthesised from a rate profile by
+:func:`repro.workloads.loadshapes.synthesize_request_trace`) that the
+web-serving workload and the fleet balancer can replay through
+:class:`~repro.workloads.loadshapes.TraceArrivals`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -85,6 +93,8 @@ def synthesize_bursty_trace(
         raise WorkloadError("utilization must be in (0, 1)")
     if duration <= 0 or mean_burst <= 0:
         raise WorkloadError("duration and mean_burst must be positive")
+    if burst_cv <= 0:
+        raise WorkloadError(f"burst_cv must be positive, got {burst_cv}")
     shape = 1.0 / burst_cv**2
     scale = mean_burst / shape
     mean_gap = mean_burst * (1.0 - utilization) / utilization
@@ -96,3 +106,74 @@ def synthesize_bursty_trace(
         entries.append((cpu, gap))
         elapsed += cpu + gap
     return entries
+
+
+# ----------------------------------------------------------------------
+# Request-arrival traces
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RequestTrace:
+    """An explicit sequence of request-arrival timestamps, seconds.
+
+    Times are relative to the start of replay (a trace starting at
+    ``t=3`` means the first request arrives three simulated seconds
+    after the replay begins), must be non-negative, and must be
+    non-decreasing — simultaneous arrivals (a batch) are allowed.
+    """
+
+    times: Tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        times = tuple(float(t) for t in self.times)
+        if not times:
+            raise WorkloadError("request trace must contain at least one arrival")
+        if times[0] < 0:
+            raise WorkloadError(f"arrival times must be non-negative, got {times[0]}")
+        for earlier, later in zip(times, times[1:]):
+            if later < earlier:
+                raise WorkloadError(
+                    f"arrival times must be non-decreasing ({earlier} then {later})"
+                )
+        object.__setattr__(self, "times", times)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival, seconds."""
+        return self.times[-1]
+
+    def gaps(self) -> Iterator[float]:
+        """Interarrival gaps, starting with the delay to the first
+        arrival (zero gaps encode batched arrivals)."""
+        previous = 0.0
+        for t in self.times:
+            yield t - previous
+            previous = t
+
+    def count_in(self, start: float, end: float) -> int:
+        """Arrivals in the half-open window ``[start, end)``."""
+        return bisect.bisect_left(self.times, end) - bisect.bisect_left(
+            self.times, start
+        )
+
+    def mean_rate(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Mean arrival rate over ``[start, end)``, requests/s."""
+        if end is None:
+            end = self.duration
+        if end <= start:
+            raise WorkloadError(f"empty rate window [{start}, {end})")
+        return self.count_in(start, end) / (end - start)
+
+    @classmethod
+    def from_gaps(cls, gaps: Sequence[float]) -> "RequestTrace":
+        """Build a trace from interarrival gaps (all must be >= 0)."""
+        times: List[float] = []
+        elapsed = 0.0
+        for gap in gaps:
+            if gap < 0:
+                raise WorkloadError(f"interarrival gaps must be >= 0, got {gap}")
+            elapsed += float(gap)
+            times.append(elapsed)
+        return cls(tuple(times))

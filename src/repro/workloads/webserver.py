@@ -36,6 +36,7 @@ from ..sched.scheduler import Scheduler
 from ..sched.thread import Thread, ThreadKind, ThreadState
 from ..sim.process import Process
 from .base import BLOCK, Burst, NextBurst, Workload
+from .loadshapes import ArrivalProcess
 
 #: SPECWeb QoS thresholds, seconds (§3.7).
 QOS_GOOD = 3.0
@@ -66,22 +67,37 @@ class RequestLog:
     requests: List[Request] = field(default_factory=list)
 
     def arrived_in(self, start: float, end: float) -> List[Request]:
-        return [r for r in self.requests if start <= r.arrival <= end]
+        """Requests arriving in the half-open window ``[start, end)``.
+
+        Half-open bounds make adjacent windows a true partition: a
+        request arriving exactly at ``w`` belongs to ``[w, 2w)`` and is
+        never double-counted by ``[0, w)``.
+        """
+        return [r for r in self.requests if start <= r.arrival < end]
 
     def qos_fraction(self, threshold: float, *, start: float = 0.0, end: float = float("inf")) -> float:
-        """Fraction of requests (arriving in [start, end]) answered
+        """Fraction of requests (arriving in ``[start, end)``) answered
         within ``threshold`` seconds.  Unanswered requests count as
-        failures — an exploding backlog shows up as a QoS collapse."""
+        failures — an exploding backlog shows up as a QoS collapse.
+
+        A window with no arrivals has *no data*, not perfect QoS: it
+        scores NaN so aggregations can exclude it (a diurnal trough
+        must not inflate the mean).  Callers averaging across windows
+        should weight by arrivals or drop NaN windows; see
+        :mod:`repro.analysis.slo` for the windowed scorer.
+        """
         window = self.arrived_in(start, end)
         if not window:
-            return 1.0
+            return float("nan")
         good = sum(
             1 for r in window if r.response_time is not None and r.response_time <= threshold
         )
         return good / len(window)
 
     def mean_response_time(self, *, start: float = 0.0, end: float = float("inf")) -> float:
-        done = [r.response_time for r in self.arrived_in(start, end) if r.completed is not None]
+        done = [
+            r.response_time for r in self.arrived_in(start, end) if r.response_time is not None
+        ]
         if not done:
             return float("inf")
         return float(np.mean(done))
@@ -156,6 +172,7 @@ class WebServer:
         kernel_overhead: float = 0.0002,
         num_workers: int = 8,
         external_arrivals: bool = False,
+        arrival_process: Optional[ArrivalProcess] = None,
     ):
         """``external_arrivals=True`` disables the server's own Poisson
         arrival process; requests then enter only through
@@ -163,11 +180,24 @@ class WebServer:
         fleet experiment, where one fleet-level arrival stream is
         routed across many servers.  ``connections``/``think_time``
         still define :attr:`arrival_rate` (what this server is sized
-        for) and the per-core load estimate."""
+        for) and the per-core load estimate.
+
+        ``arrival_process`` replaces the fixed-rate Poisson arrival
+        loop with a shaped
+        :class:`~repro.workloads.loadshapes.ArrivalProcess` (diurnal,
+        surge, bursty, or trace-driven); a finite process simply stops
+        generating once exhausted.  Mutually exclusive with
+        ``external_arrivals`` — a balancer-fed server shapes its load
+        at the balancer."""
         if connections < 1 or think_time <= 0:
             raise ConfigurationError("need positive connections and think_time")
         if service_mean <= 0 or kernel_overhead <= 0:
             raise ConfigurationError("service times must be positive")
+        if external_arrivals and arrival_process is not None:
+            raise ConfigurationError(
+                "arrival_process shapes the server's own arrival loop; "
+                "with external_arrivals=True shape the balancer instead"
+            )
         self.scheduler = scheduler
         self.rng = rng
         self.arrival_rate = connections / think_time
@@ -176,6 +206,7 @@ class WebServer:
         self.kernel_overhead = kernel_overhead
         self.log = RequestLog()
         self.ready_requests: Deque[Request] = deque()
+        self.arrival_process = arrival_process
         self._rid = itertools.count(1)
 
         self._kernel_work = _KernelInterruptWork(self)
@@ -260,9 +291,14 @@ class WebServer:
 
     # ------------------------------------------------------------------
     def _arrival_loop(self):
-        while True:
-            yield float(self.rng.exponential(1.0 / self.arrival_rate))
-            self._arrive()
+        if self.arrival_process is None:
+            while True:
+                yield float(self.rng.exponential(1.0 / self.arrival_rate))
+                self._arrive()
+        else:
+            for gap in self.arrival_process.gaps(self.rng):
+                yield gap
+                self._arrive()
 
     def _draw_service_time(self) -> float:
         sigma = self.service_sigma

@@ -1,0 +1,204 @@
+"""Windowed SLO scoring: unit behavior and the recombination property.
+
+The Hypothesis properties pin the conventions the scorer shares with
+``RequestLog.arrived_in``: half-open windows partition the scoring
+span, so per-window counts recombine *exactly* to whole-run totals,
+boundary arrivals land in exactly one window, and empty windows are
+no-data (excluded from every aggregate) rather than perfect.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import SloReport, WindowScore, score_windows
+from repro.errors import AnalysisError
+from repro.workloads import QOS_GOOD, QOS_TOLERABLE, Request, RequestLog
+
+SPAN = 60.0
+
+
+def make_request(rid, arrival, response):
+    """response=None means never answered."""
+    return Request(
+        rid=rid,
+        arrival=arrival,
+        service_time=0.01,
+        completed=None if response is None else arrival + response,
+    )
+
+
+# A request: arrival anywhere in the span (including exactly on window
+# edges, via the integer strategy), answered within good / tolerable /
+# late, or never answered.
+arrivals = st.one_of(
+    st.floats(0.0, SPAN, exclude_max=True, allow_nan=False),
+    st.integers(0, int(SPAN) - 1).map(float),  # exact edge hits
+)
+responses = st.one_of(
+    st.none(),
+    st.floats(0.0, QOS_GOOD, allow_nan=False),
+    st.floats(QOS_GOOD + 1e-6, QOS_TOLERABLE, allow_nan=False),
+    st.floats(QOS_TOLERABLE + 1e-6, 60.0, allow_nan=False),
+)
+request_lists = st.lists(st.tuples(arrivals, responses), max_size=80).map(
+    lambda pairs: [make_request(i, a, r) for i, (a, r) in enumerate(pairs)]
+)
+window_lengths = st.sampled_from([1.0, 3.0, 7.0, 10.0, 13.5, 60.0, 100.0])
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests=request_lists, window=window_lengths)
+def test_window_counts_recombine_to_whole_run_totals(requests, window):
+    """Summing per-window counts over a partition gives exactly the
+    whole-run numbers computed without any windowing."""
+    report = score_windows(requests, start=0.0, end=SPAN, window=window)
+    answered = [r for r in requests if r.response_time is not None]
+    assert report.total_arrivals == len(requests)
+    assert report.total_good == sum(
+        1 for r in answered if r.response_time <= QOS_GOOD
+    )
+    assert report.total_tolerable == sum(
+        1 for r in answered if r.response_time <= QOS_TOLERABLE
+    )
+    assert report.total_failed == report.total_arrivals - report.total_tolerable
+    # And the aggregate fraction equals RequestLog's whole-run score.
+    whole_run = RequestLog(requests=list(requests)).qos_fraction(
+        QOS_GOOD, start=0.0, end=SPAN
+    )
+    if requests:
+        assert report.good_fraction == pytest.approx(whole_run)
+    else:
+        assert report.good_fraction is None
+        assert math.isnan(whole_run)
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests=request_lists, window=window_lengths)
+def test_boundary_arrivals_land_in_exactly_one_window(requests, window):
+    """Half-open windows: every request in the span is counted once,
+    even when its arrival sits exactly on a window edge."""
+    report = score_windows(requests, start=0.0, end=SPAN, window=window)
+    for request in requests:
+        holders = [
+            w for w in report.windows if w.start <= request.arrival < w.end
+        ]
+        assert len(holders) == 1
+    # The windows tile the span with no gap or overlap.
+    assert report.windows[0].start == 0.0
+    assert report.windows[-1].end == SPAN
+    for left, right in zip(report.windows, report.windows[1:]):
+        assert left.end == right.start
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests=request_lists, window=window_lengths)
+def test_empty_windows_are_excluded_from_aggregates(requests, window):
+    """An empty window's fractions are None and it never contributes to
+    worst-window, violation time, or the totals."""
+    report = score_windows(requests, start=0.0, end=SPAN, window=window)
+    for w in report.windows:
+        if w.empty:
+            assert w.good_fraction is None
+            assert w.tolerable_fraction is None
+            assert w.failed_fraction is None
+            assert w.response_percentiles == {}
+    assert all(not w.empty for w in report.scored_windows())
+    worst = report.worst_window()
+    if worst is not None:
+        assert not worst.empty
+    empty_span = sum(w.end - w.start for w in report.windows if w.empty)
+    # Even if every non-empty window violates, empty ones never count.
+    assert report.time_in_violation(min_good=1.1) <= SPAN - empty_span
+    # Serialization stays strict JSON: None, never NaN.
+    json.dumps(report.series(), allow_nan=False)
+    json.dumps(report.summary(), allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# Unit behavior
+# ----------------------------------------------------------------------
+def test_score_windows_validation():
+    with pytest.raises(AnalysisError):
+        score_windows([], start=0.0, end=10.0, window=0.0)
+    with pytest.raises(AnalysisError):
+        score_windows([], start=10.0, end=10.0, window=1.0)
+    with pytest.raises(AnalysisError):
+        score_windows(
+            [], start=0.0, end=10.0, window=1.0,
+            good_threshold=5.0, tolerable_threshold=3.0,
+        )
+
+
+def test_last_window_truncates_at_end():
+    report = score_windows([], start=0.0, end=10.0, window=4.0)
+    assert [(w.start, w.end) for w in report.windows] == [
+        (0.0, 4.0),
+        (4.0, 8.0),
+        (8.0, 10.0),
+    ]
+
+
+def test_unanswered_requests_fail_but_skip_percentiles():
+    requests = [
+        make_request(1, 1.0, 0.5),   # good
+        make_request(2, 1.5, 4.0),   # tolerable only
+        make_request(3, 2.0, None),  # never answered -> failed
+    ]
+    report = score_windows(requests, start=0.0, end=10.0, window=10.0)
+    (w,) = report.windows
+    assert (w.arrivals, w.good, w.tolerable, w.failed, w.answered) == (3, 1, 2, 1, 2)
+    assert w.response_percentiles["p50"] == pytest.approx(2.25)
+    assert report.good_fraction == pytest.approx(1 / 3)
+
+
+def test_worst_window_and_violation_time():
+    requests = [make_request(1, 1.0, 0.5)] + [
+        make_request(10 + i, 11.0 + 0.1 * i, 10.0) for i in range(5)
+    ]
+    report = score_windows(requests, start=0.0, end=30.0, window=10.0)
+    worst = report.worst_window()
+    assert worst.start == 10.0
+    assert worst.good_fraction == 0.0
+    assert report.time_in_violation(min_good=0.95) == pytest.approx(10.0)
+    assert report.worst_window(metric="tolerable").start == 10.0
+    with pytest.raises(AnalysisError):
+        report.worst_window(metric="latency")
+
+
+def test_all_empty_report_has_no_data():
+    report = score_windows([], start=0.0, end=20.0, window=5.0)
+    assert report.good_fraction is None
+    assert report.worst_window() is None
+    assert report.time_in_violation() == 0.0
+    summary = report.summary()
+    assert summary["arrivals"] == 0
+    assert summary["empty_windows"] == summary["windows"] == 4
+    json.dumps(summary, allow_nan=False)
+
+
+def test_series_columns_align_with_windows():
+    requests = [make_request(1, 0.5, 0.1), make_request(2, 7.0, 0.2)]
+    report = score_windows(requests, start=0.0, end=9.0, window=3.0)
+    series = report.series()
+    assert len(series["start"]) == len(report.windows) == 3
+    assert series["arrivals"] == [1, 0, 1]
+    assert series["good_fraction"] == [1.0, None, 1.0]
+    assert series["p95_response"][1] is None
+
+
+def test_window_score_is_immutable():
+    w = WindowScore(start=0.0, end=1.0, arrivals=0, good=0, tolerable=0, answered=0)
+    with pytest.raises(AttributeError):
+        w.arrivals = 3
+
+
+def test_report_is_reusable_dataclass():
+    report = SloReport(
+        windows=[], good_threshold=QOS_GOOD,
+        tolerable_threshold=QOS_TOLERABLE, window_length=1.0,
+    )
+    assert report.total_arrivals == 0

@@ -1,0 +1,248 @@
+"""Tests for rate-over-time load shapes and arrival processes."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import RngRegistry
+from repro.workloads import (
+    ConstantLoad,
+    DiurnalLoad,
+    MergedArrivals,
+    ParetoBurstArrivals,
+    PoissonArrivals,
+    RequestTrace,
+    StepLoad,
+    TraceArrivals,
+    synthesize_request_trace,
+)
+
+
+def arrivals_before(process, rng, horizon):
+    """Materialize a process's arrival times up to ``horizon``."""
+    times = []
+    elapsed = 0.0
+    for gap in process.gaps(rng):
+        assert gap >= 0.0
+        elapsed += gap
+        if elapsed >= horizon:
+            break
+        times.append(elapsed)
+    return times
+
+
+# ----------------------------------------------------------------------
+# Shapes
+# ----------------------------------------------------------------------
+def test_constant_load():
+    shape = ConstantLoad(40.0)
+    assert shape.rate(0.0) == shape.rate(1e6) == 40.0
+    assert shape.peak_rate() == 40.0
+    assert shape.mean_rate(0.0, 10.0) == 40.0
+    with pytest.raises(WorkloadError):
+        ConstantLoad(0.0)
+
+
+def test_diurnal_load_cycles():
+    shape = DiurnalLoad(40.0, amplitude=0.5, period=100.0)
+    assert shape.rate(0.0) == pytest.approx(40.0)
+    assert shape.rate(25.0) == pytest.approx(60.0)  # crest at quarter period
+    assert shape.rate(75.0) == pytest.approx(20.0)  # trough
+    assert shape.peak_rate() == pytest.approx(60.0)
+    # Amplitude 1 bottoms out at exactly zero, never negative.
+    full = DiurnalLoad(40.0, amplitude=1.0, period=100.0)
+    assert full.rate(75.0) == pytest.approx(0.0, abs=1e-9)
+    with pytest.raises(WorkloadError):
+        DiurnalLoad(40.0, amplitude=1.5)
+    with pytest.raises(WorkloadError):
+        DiurnalLoad(40.0, period=0.0)
+
+
+def test_step_load_surge_window_is_half_open():
+    shape = StepLoad(10.0, 50.0, start=5.0, duration=3.0)
+    assert shape.rate(4.999) == 10.0
+    assert shape.rate(5.0) == 50.0  # start included
+    assert shape.rate(7.999) == 50.0
+    assert shape.rate(8.0) == 10.0  # end excluded
+    assert shape.peak_rate() == 50.0
+    with pytest.raises(WorkloadError):
+        StepLoad(0.0, 0.0, start=0.0, duration=1.0)
+    with pytest.raises(WorkloadError):
+        StepLoad(10.0, 50.0, start=0.0, duration=0.0)
+
+
+def test_shape_composition_and_scaling():
+    combined = ConstantLoad(10.0) + DiurnalLoad(20.0, amplitude=0.5, period=100.0)
+    assert combined.rate(0.0) == pytest.approx(30.0)
+    assert combined.peak_rate() >= max(combined.rate(t) for t in np.linspace(0, 200, 400))
+    scaled = 0.5 * ConstantLoad(10.0)
+    assert scaled.rate(3.0) == pytest.approx(5.0)
+    assert scaled.peak_rate() == pytest.approx(5.0)
+    # Nested compositions flatten rather than recurse.
+    triple = combined + ConstantLoad(1.0)
+    assert len(triple.shapes) == 3
+    with pytest.raises(WorkloadError):
+        ConstantLoad(10.0) * -1.0
+
+
+def test_peak_rate_is_an_envelope():
+    shapes = [
+        DiurnalLoad(40.0, amplitude=0.7, period=50.0, phase=13.0),
+        StepLoad(5.0, 80.0, start=10.0, duration=5.0),
+        0.3 * DiurnalLoad(40.0, amplitude=0.7, period=50.0)
+        + StepLoad(5.0, 80.0, start=10.0, duration=5.0),
+    ]
+    for shape in shapes:
+        peak = shape.peak_rate()
+        for t in np.linspace(0.0, 200.0, 801):
+            assert shape.rate(float(t)) <= peak + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Poisson arrivals (thinning)
+# ----------------------------------------------------------------------
+def test_homogeneous_poisson_hits_the_rate():
+    rng = RngRegistry(3).stream("shape")
+    times = arrivals_before(PoissonArrivals(ConstantLoad(40.0)), rng, 200.0)
+    assert len(times) == pytest.approx(40.0 * 200.0, rel=0.05)
+
+
+def test_thinning_tracks_a_step_surge():
+    rng = RngRegistry(4).stream("shape")
+    process = PoissonArrivals(StepLoad(10.0, 100.0, start=100.0, duration=50.0))
+    times = np.asarray(arrivals_before(process, rng, 300.0))
+    before = np.sum(times < 100.0) / 100.0
+    inside = np.sum((times >= 100.0) & (times < 150.0)) / 50.0
+    after = np.sum(times >= 150.0) / 150.0
+    assert before == pytest.approx(10.0, rel=0.2)
+    assert inside == pytest.approx(100.0, rel=0.1)
+    assert after == pytest.approx(10.0, rel=0.2)
+
+
+def test_thinning_tracks_a_diurnal_cycle():
+    rng = RngRegistry(5).stream("shape")
+    shape = DiurnalLoad(40.0, amplitude=0.8, period=200.0)
+    times = np.asarray(arrivals_before(PoissonArrivals(shape), rng, 200.0))
+    crest = np.sum((times >= 30.0) & (times < 70.0)) / 40.0
+    trough = np.sum((times >= 130.0) & (times < 170.0)) / 40.0
+    assert crest > 2.5 * trough  # ~72 vs ~8 req/s
+    assert crest == pytest.approx(shape.mean_rate(30.0, 70.0), rel=0.15)
+
+
+def test_poisson_rejects_zero_peak():
+    with pytest.raises(WorkloadError):
+        PoissonArrivals(0.0 * ConstantLoad(10.0))
+
+
+# ----------------------------------------------------------------------
+# Pareto bursts
+# ----------------------------------------------------------------------
+def test_pareto_burst_validation():
+    with pytest.raises(WorkloadError):
+        ParetoBurstArrivals(burst_rate=0.0, mean_burst_size=10)
+    with pytest.raises(WorkloadError):
+        ParetoBurstArrivals(burst_rate=1.0, mean_burst_size=0.5)
+    with pytest.raises(WorkloadError):
+        ParetoBurstArrivals(burst_rate=1.0, mean_burst_size=10, alpha=1.0)
+    with pytest.raises(WorkloadError):
+        ParetoBurstArrivals(burst_rate=1.0, mean_burst_size=10, in_burst_rate=0.0)
+
+
+def test_pareto_bursts_hit_the_long_run_rate():
+    process = ParetoBurstArrivals(
+        burst_rate=0.5, mean_burst_size=20.0, alpha=2.5, in_burst_rate=500.0
+    )
+    assert process.mean_rate() == pytest.approx(10.0)
+    rng = RngRegistry(6).stream("bursts")
+    times = arrivals_before(process, rng, 2000.0)
+    # Heavy-tailed sizes converge slowly; a generous tolerance still
+    # catches an off-by-alpha scale error (which would be ~2x off).
+    assert len(times) / 2000.0 == pytest.approx(10.0, rel=0.25)
+
+
+def test_pareto_bursts_are_bunched():
+    process = ParetoBurstArrivals(
+        burst_rate=0.2, mean_burst_size=30.0, alpha=1.8, in_burst_rate=1000.0
+    )
+    rng = RngRegistry(7).stream("bursts")
+    gaps = list(itertools.islice(process.gaps(rng), 500))
+    tiny = sum(1 for g in gaps if g < 0.01)
+    assert tiny > len(gaps) / 2  # most gaps are intra-burst spacing
+
+
+# ----------------------------------------------------------------------
+# Trace replay and merging
+# ----------------------------------------------------------------------
+def test_trace_arrivals_replays_exactly():
+    trace = RequestTrace((1.0, 2.5, 2.5, 4.0))
+    rng = RngRegistry(8).stream("replay")
+    times = arrivals_before(TraceArrivals(trace), rng, 10.0)
+    assert times == pytest.approx([1.0, 2.5, 2.5, 4.0])
+
+
+def test_trace_arrivals_loops():
+    trace = RequestTrace((1.0, 2.0))
+    rng = RngRegistry(8).stream("replay")
+    times = arrivals_before(TraceArrivals(trace, loop=True), rng, 7.0)
+    assert times == pytest.approx([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    with pytest.raises(WorkloadError):
+        TraceArrivals(RequestTrace((0.0,)), loop=True)
+
+
+def test_merged_arrivals_superpose():
+    merged = MergedArrivals(
+        PoissonArrivals(ConstantLoad(20.0)), PoissonArrivals(ConstantLoad(30.0))
+    )
+    rng = RngRegistry(9).stream("merge")
+    times = arrivals_before(merged, rng, 400.0)
+    assert len(times) == pytest.approx(50.0 * 400.0, rel=0.05)
+    assert all(b >= a for a, b in zip(times, times[1:]))  # merged in order
+    with pytest.raises(WorkloadError):
+        MergedArrivals()
+
+
+def test_merged_arrivals_is_deterministic_per_seed():
+    def sample():
+        merged = MergedArrivals(
+            TraceArrivals(RequestTrace((1.0, 3.0))),
+            PoissonArrivals(ConstantLoad(5.0)),
+        )
+        return arrivals_before(merged, RngRegistry(11).stream("merge"), 20.0)
+
+    assert sample() == sample()
+
+
+# ----------------------------------------------------------------------
+# Freezing shapes into traces
+# ----------------------------------------------------------------------
+def test_synthesize_request_trace_round_trip():
+    rng = RngRegistry(12).stream("freeze")
+    trace = synthesize_request_trace(rng, duration=50.0, shape=ConstantLoad(20.0))
+    assert len(trace) == pytest.approx(1000, rel=0.2)
+    assert trace.duration < 50.0
+    assert trace.mean_rate(0.0, 50.0) == pytest.approx(20.0, rel=0.2)
+    # Replay reproduces the frozen times bit-identically, twice.
+    replay = TraceArrivals(trace)
+    other = RngRegistry(99).stream("unused")
+    assert arrivals_before(replay, other, 50.0) == list(trace.times)
+    assert arrivals_before(replay, other, 50.0) == list(trace.times)
+
+
+def test_synthesize_request_trace_validation():
+    rng = RngRegistry(12).stream("freeze")
+    with pytest.raises(WorkloadError):
+        synthesize_request_trace(rng, duration=0.0, shape=ConstantLoad(1.0))
+    with pytest.raises(WorkloadError):
+        synthesize_request_trace(rng, duration=10.0)  # neither shape nor process
+    with pytest.raises(WorkloadError):
+        synthesize_request_trace(
+            rng,
+            duration=10.0,
+            shape=ConstantLoad(1.0),
+            process=PoissonArrivals(ConstantLoad(1.0)),
+        )
+    with pytest.raises(WorkloadError):
+        # ~1 arrival per 1000s in a 0.001s run: effectively never.
+        synthesize_request_trace(rng, duration=0.001, shape=ConstantLoad(0.001))

@@ -1,10 +1,20 @@
 """Tests for the SPECWeb-like web-serving workload."""
 
+import math
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments import Machine, fast_config
-from repro.workloads import QOS_GOOD, QOS_TOLERABLE, Request, RequestLog, WebServer
+from repro.workloads import (
+    QOS_GOOD,
+    QOS_TOLERABLE,
+    Request,
+    RequestLog,
+    RequestTrace,
+    TraceArrivals,
+    WebServer,
+)
 
 
 def build_server(machine, **kwargs):
@@ -33,8 +43,12 @@ def test_qos_fraction_counts_unanswered_as_failures():
     assert log.qos_fraction(10.0) == pytest.approx(2 / 3)
 
 
-def test_qos_fraction_empty_window_is_perfect():
-    assert RequestLog().qos_fraction(QOS_GOOD) == 1.0
+def test_qos_fraction_empty_window_is_no_data():
+    # A window with zero arrivals carries no data — NaN, not perfect
+    # QoS (a diurnal trough must not inflate aggregates).
+    assert math.isnan(RequestLog().qos_fraction(QOS_GOOD))
+    log = RequestLog(requests=[Request(1, 5.0, 0.01, completed=5.1)])
+    assert math.isnan(log.qos_fraction(QOS_GOOD, start=0.0, end=5.0))
 
 
 def test_qos_window_filters_by_arrival():
@@ -46,6 +60,16 @@ def test_qos_window_filters_by_arrival():
     )
     assert log.qos_fraction(QOS_GOOD, start=0.0, end=1.0) == 1.0
     assert log.qos_fraction(QOS_GOOD, start=4.0, end=6.0) == 0.0
+
+
+def test_arrival_windows_are_half_open():
+    # A request at exactly a window edge belongs to the later window:
+    # adjacent [0,w) and [w,2w) windows never double-count it.
+    log = RequestLog(requests=[Request(1, 5.0, 0.01, completed=5.1)])
+    assert log.arrived_in(0.0, 5.0) == []
+    assert len(log.arrived_in(5.0, 10.0)) == 1
+    total = len(log.arrived_in(0.0, 5.0)) + len(log.arrived_in(5.0, 10.0))
+    assert total == 1
 
 
 def test_mean_response_time():
@@ -103,6 +127,23 @@ def test_kernel_stage_precedes_user_stage():
         server.kernel_overhead * server.kernel_thread.stats.bursts_completed, rel=1e-6
     )
     assert server.kernel_thread.stats.bursts_completed >= completed
+
+
+def test_arrival_process_replaces_poisson_loop():
+    machine = Machine(fast_config())
+    trace = RequestTrace((0.5, 1.0, 1.0, 2.5))
+    server = build_server(machine, arrival_process=TraceArrivals(trace))
+    machine.run(10.0)
+    # Exactly the trace's arrivals, at its timestamps — and a finite
+    # process simply stops generating once exhausted.
+    assert [r.arrival for r in server.log.requests] == pytest.approx(list(trace.times))
+
+
+def test_arrival_process_conflicts_with_external_arrivals():
+    machine = Machine(fast_config())
+    trace = TraceArrivals(RequestTrace((1.0,)))
+    with pytest.raises(ConfigurationError):
+        build_server(machine, external_arrivals=True, arrival_process=trace)
 
 
 def test_stop_halts_arrivals():

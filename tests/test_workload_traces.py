@@ -5,7 +5,13 @@ import pytest
 from repro.errors import WorkloadError
 from repro.experiments import Machine, fast_config
 from repro.sim import RngRegistry
-from repro.workloads import Burst, TraceWorkload, synthesize_bursty_trace, trace_utilization
+from repro.workloads import (
+    Burst,
+    RequestTrace,
+    TraceWorkload,
+    synthesize_bursty_trace,
+    trace_utilization,
+)
 
 
 def test_trace_replays_in_order():
@@ -57,6 +63,17 @@ def test_synthesize_validation():
         synthesize_bursty_trace(rng, duration=0.0, utilization=0.5)
 
 
+def test_synthesize_rejects_zero_burst_cv():
+    # burst_cv=0 used to divide by zero computing the gamma shape; a
+    # deterministic burst length is out of the model's domain and must
+    # say so instead of crashing.
+    rng = RngRegistry(7).stream("trace")
+    with pytest.raises(WorkloadError):
+        synthesize_bursty_trace(rng, duration=10.0, utilization=0.5, burst_cv=0.0)
+    with pytest.raises(WorkloadError):
+        synthesize_bursty_trace(rng, duration=10.0, utilization=0.5, burst_cv=-1.0)
+
+
 def test_trace_workload_runs_on_machine():
     machine = Machine(fast_config())
     rng = machine.rng.stream("trace")
@@ -65,6 +82,40 @@ def test_trace_workload_runs_on_machine():
     machine.run(30.0)
     busy_fraction = thread.stats.work_done / 30.0
     assert busy_fraction == pytest.approx(0.4, abs=0.08)
+
+
+# ----------------------------------------------------------------------
+# Request-arrival traces
+# ----------------------------------------------------------------------
+def test_request_trace_validation():
+    with pytest.raises(WorkloadError):
+        RequestTrace(())
+    with pytest.raises(WorkloadError):
+        RequestTrace((-1.0, 2.0))
+    with pytest.raises(WorkloadError):
+        RequestTrace((2.0, 1.0))
+    # Batched (simultaneous) arrivals are legal.
+    assert len(RequestTrace((1.0, 1.0, 2.0))) == 3
+
+
+def test_request_trace_gaps_and_round_trip():
+    trace = RequestTrace((0.5, 2.0, 2.0, 3.5))
+    assert list(trace.gaps()) == pytest.approx([0.5, 1.5, 0.0, 1.5])
+    assert trace.duration == 3.5
+    rebuilt = RequestTrace.from_gaps(trace.gaps())
+    assert rebuilt.times == pytest.approx(trace.times)
+    with pytest.raises(WorkloadError):
+        RequestTrace.from_gaps([1.0, -0.5])
+
+
+def test_request_trace_windows_are_half_open():
+    trace = RequestTrace((0.0, 1.0, 2.0, 2.0, 3.0))
+    assert trace.count_in(0.0, 2.0) == 2  # 2.0 excluded
+    assert trace.count_in(2.0, 4.0) == 3  # both 2.0s included
+    assert trace.count_in(0.0, 2.0) + trace.count_in(2.0, 4.0) == len(trace)
+    assert trace.mean_rate(0.0, 5.0) == pytest.approx(1.0)
+    with pytest.raises(WorkloadError):
+        trace.mean_rate(3.0, 3.0)
 
 
 def test_injection_slows_trace_replay():
