@@ -59,6 +59,7 @@ from .experiments.reporting import format_failure_report
 from .faults import FaultPlan
 from .fleet import fleet_compare_experiment, fleet_experiment, scenarios_experiment
 from .fleet.scheduling import POLICY_NAMES
+from .health import HealthParams
 from .runtime import (
     ParallelRunner,
     ProgressEvent,
@@ -198,6 +199,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduling policy for the fleet/scenarios experiments "
         f"({', '.join(POLICY_NAMES)}; see docs/fleet.md)",
     )
+    parser.add_argument(
+        "--health-warning-rise",
+        type=float,
+        default=None,
+        metavar="C",
+        help="health monitor: warning threshold as degrees C above the "
+        "idle mean (default: 3.5; see docs/monitoring.md)",
+    )
+    parser.add_argument(
+        "--health-critical-rise",
+        type=float,
+        default=None,
+        metavar="C",
+        help="health monitor: critical threshold as degrees C above the "
+        "idle mean (default: 5.5)",
+    )
+    parser.add_argument(
+        "--health-period",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="health monitor sampling period (default: 1.0)",
+    )
     return parser
 
 
@@ -209,6 +233,41 @@ def supports_runner(func: Callable) -> bool:
 def supports_policy(func: Callable) -> bool:
     """Whether an experiment accepts the scheduling ``policy`` keyword."""
     return "policy" in inspect.signature(func).parameters
+
+
+def supports_health(func: Callable) -> bool:
+    """Whether an experiment accepts the ``health_params`` keyword
+    (monitoring threshold overrides)."""
+    return "health_params" in inspect.signature(func).parameters
+
+
+def health_params_from_args(args: argparse.Namespace) -> Optional[HealthParams]:
+    """Build the ``--health-*`` override, or None when no flag was given
+    (experiments then use the :class:`~repro.health.HealthParams`
+    defaults)."""
+    overrides = {}
+    if args.health_warning_rise is not None:
+        overrides["warning_rise"] = args.health_warning_rise
+    if args.health_critical_rise is not None:
+        overrides["critical_rise"] = args.health_critical_rise
+    if args.health_period is not None:
+        overrides["period"] = args.health_period
+    if not overrides:
+        return None
+    return HealthParams(**overrides)
+
+
+def validate_health(experiment: str, params: Optional[HealthParams]) -> None:
+    """Reject ``--health-*`` flags on experiments without monitors."""
+    if params is None or experiment == "all":
+        return
+    func = EXPERIMENTS.get(experiment, (None, None))[1]
+    if func is None or not supports_health(func):
+        raise ConfigurationError(
+            f"--health-* flags apply only to experiments with health "
+            f"monitors (fig2, fleet, fleet-compare, scenarios), not "
+            f"{experiment!r}"
+        )
 
 
 def validate_policy(experiment: str, policy: Optional[str]) -> None:
@@ -292,6 +351,8 @@ def run_experiment(
     timings: Optional[Dict[str, float]] = None,
     policy: Optional[str] = None,
     artifacts: Optional[Dict[str, object]] = None,
+    health_params: Optional[HealthParams] = None,
+    health: Optional[Dict[str, object]] = None,
 ) -> str:
     """Run one experiment and return its rendered text.
 
@@ -301,7 +362,10 @@ def run_experiment(
     asking for it elsewhere is a :class:`ConfigurationError`.
     ``artifacts``, when given, collects ``result.manifest_payload()``
     under the experiment's name for results that define it (the
-    ``scenarios`` experiment's per-window SLO series).
+    ``scenarios`` experiment's per-window SLO series).  ``health_params``
+    overrides the monitoring thresholds for experiments that run health
+    monitors; ``health``, when given, collects ``result.health_payload()``
+    under the experiment's name (the manifest's ``health`` section).
     """
     config = full_config(seed) if full else fast_config(seed)
     _, func = EXPERIMENTS[name]
@@ -309,6 +373,8 @@ def run_experiment(
     if policy is not None:
         validate_policy(name, policy)
         kwargs["policy"] = policy
+    if health_params is not None and supports_health(func):
+        kwargs["health_params"] = health_params
     started = time.time()
     if runner is not None and supports_runner(func):
         executed_before = runner.metrics.executed
@@ -329,6 +395,8 @@ def run_experiment(
         timings[name] = elapsed
     if artifacts is not None and hasattr(result, "manifest_payload"):
         artifacts[name] = result.manifest_payload()
+    if health is not None and hasattr(result, "health_payload"):
+        health[name] = result.health_payload()
     return f"{result.render()}\n{status}"
 
 
@@ -342,6 +410,7 @@ def build_manifest(
     timings: Dict[str, float],
     resumed: bool = False,
     artifacts: Optional[Dict[str, object]] = None,
+    health: Optional[Dict[str, object]] = None,
 ) -> RunManifest:
     """Assemble the run manifest for one CLI invocation."""
     config = full_config(seed) if full else fast_config(seed)
@@ -360,6 +429,7 @@ def build_manifest(
         failures=runner.failure_report.to_dict() if runner.failure_report else None,
         metrics=metrics_registry.snapshot(),
         artifacts=artifacts or {},
+        health=health or {},
     )
 
 
@@ -377,6 +447,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     with isolated() as metrics_registry:
         try:
             validate_policy(args.experiment, args.policy)
+            health_params = health_params_from_args(args)
+            validate_health(args.experiment, health_params)
             runner = make_runner(
                 jobs=args.jobs,
                 cache_dir=args.cache_dir,
@@ -393,6 +465,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         timings: Dict[str, float] = {}
         artifacts: Dict[str, object] = {}
+        health: Dict[str, object] = {}
         try:
             for name in names:
                 print(
@@ -404,6 +477,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         timings=timings,
                         policy=args.policy,
                         artifacts=artifacts,
+                        health_params=health_params,
+                        health=health,
                     )
                 )
                 print()
@@ -420,6 +495,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     timings=timings,
                     resumed=args.resume,
                     artifacts=artifacts,
+                    health=health,
                 )
                 path = manifest.write(args.metrics)
                 print(f"[manifest written to {path}]", file=sys.stderr)

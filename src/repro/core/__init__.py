@@ -2,7 +2,12 @@
 
 from .capping import CapSample, PowerCapController
 from .controller import ControllerGains, ControllerSample, ThermalSetpointController
-from .dtm import ReactiveThrottleController, ThrottleEvent, ThrottleStats
+from .dtm import (
+    AlertDrivenController,
+    ReactiveThrottleController,
+    ThrottleEvent,
+    ThrottleStats,
+)
 from .injector import IdleInjector, IdleMode, InjectionDecision, InjectorStats
 from .migration import MigrationEvent, ThermalMigrationPolicy
 from .models import (
@@ -32,6 +37,7 @@ from .policy import (
 )
 
 __all__ = [
+    "AlertDrivenController",
     "BernoulliInjectionPolicy",
     "CapSample",
     "ControllerGains",

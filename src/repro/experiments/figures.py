@@ -21,6 +21,7 @@ from ..core.pareto import (
     fit_power_law,
     pareto_boundary,
 )
+from ..health import HealthParams
 from ..instruments.stats import relative_reduction, throughput_reduction
 from ..runtime import ParallelRunner
 from ..units import MS
@@ -144,23 +145,43 @@ class Fig2Result:
     series: Dict[float, Tuple[np.ndarray, np.ndarray]]
     final_rise: Dict[float, float]
     ripple_std: Dict[float, float]
+    #: Per-p health-monitor summaries (alerts, dwell) — more injection
+    #: should mean fewer thermal alerts; None entries when unmonitored.
+    health: Dict[float, Dict[str, object]] = field(default_factory=dict)
 
     def render(self) -> str:
         lines = [
             f"Figure 2: core temperature rise over idle vs time "
             f"(L={self.idle_quantum * 1e3:.0f}ms)"
         ]
-        rows = [
-            (p, self.final_rise[p], self.ripple_std[p])
-            for p in sorted(self.series)
-        ]
+        rows = []
+        for p in sorted(self.series):
+            summary = self.health.get(p) or {}
+            alerts = summary.get("alerts") or {}
+            dwell = summary.get("dwell_s") or {}
+            rows.append(
+                (
+                    p,
+                    self.final_rise[p],
+                    self.ripple_std[p],
+                    int(alerts.get("warning", 0)) + int(alerts.get("critical", 0)),
+                    float(dwell.get("critical", 0.0)),
+                )
+            )
         lines.append(
-            format_table(["p", "final rise [C]", "ripple std [C]"], rows)
+            format_table(
+                ["p", "final rise [C]", "ripple std [C]", "alerts", "crit [s]"],
+                rows,
+            )
         )
         for p in sorted(self.series):
             times, rise = self.series[p]
             lines.append(format_series(f"p={p:g} rise(t)", times, rise))
         return "\n".join(lines)
+
+    def health_payload(self) -> Dict[str, object]:
+        """Per-p monitor summaries for the manifest's health section."""
+        return {f"p={p:g}": self.health.get(p) for p in sorted(self.series)}
 
 
 def fig2_temperature_timeseries(
@@ -169,14 +190,25 @@ def fig2_temperature_timeseries(
     ps: Sequence[float] = (0.0, 0.25, 0.5, 0.75),
     idle_quantum: float = 0.100,
     duration: Optional[float] = None,
+    health_params: Optional[HealthParams] = None,
 ) -> Fig2Result:
-    """cpuburn heating transients for several idle proportions."""
+    """cpuburn heating transients for several idle proportions.
+
+    Every machine carries a thermal health monitor: the ``crit [s]``
+    column shows injection's preventive effect — higher ``p`` shrinks
+    time-in-critical toward zero (alert *counts* can rise with ``p``
+    as the trace oscillates around the threshold instead of sitting
+    above it).  ``health_params`` overrides the monitoring thresholds
+    (the CLI's ``--health-*`` flags).
+    """
     run_for = resolve_duration(duration, config)
     series: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
     final_rise: Dict[float, float] = {}
     ripple: Dict[float, float] = {}
+    health: Dict[float, Dict[str, object]] = {}
     for p in ps:
         machine = Machine(config)
+        monitor = machine.attach_health(health_params)
         if p > 0:
             machine.control.set_global_policy(p, idle_quantum)
         from .runner import make_cpu_workload
@@ -184,6 +216,8 @@ def fig2_temperature_timeseries(
         for i in range(config.num_cores):
             machine.scheduler.spawn(make_cpu_workload("cpuburn"), name=f"burn-{i}")
         machine.run(run_for)
+        monitor.stop()
+        monitor.finalize()
         times = machine.templog.times
         rise = machine.templog.samples.mean(axis=1) - machine.idle_mean_temp
         series[p] = (times, rise)
@@ -191,11 +225,13 @@ def fig2_temperature_timeseries(
         tail = rise[times >= times[-1] - window]
         final_rise[p] = float(tail.mean())
         ripple[p] = float(tail.std())
+        health[p] = monitor.summary()
     return Fig2Result(
         idle_quantum=idle_quantum,
         series=series,
         final_rise=final_rise,
         ripple_std=ripple,
+        health=health,
     )
 
 

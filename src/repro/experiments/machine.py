@@ -20,6 +20,7 @@ import numpy as np
 from ..core.injector import IdleInjector, IdleMode
 from ..cpu.chip import Chip
 from ..errors import ConfigurationError
+from ..health import HealthMonitor, HealthParams
 from ..instruments.powermeter import PowerMeter
 from ..instruments.templog import TemperatureLog
 from ..sched.scheduler import Scheduler
@@ -112,8 +113,40 @@ class Machine:
             num_cores=cfg.num_cores,
         )
 
+        #: Optional thermal health monitor (see :meth:`attach_health`).
+        self.health: Optional[HealthMonitor] = None
+
         self.sim.add_advance_listener(self._advance_physics)
         self.scheduler.start()
+
+    # ------------------------------------------------------------------
+    # Health monitoring
+    # ------------------------------------------------------------------
+    def attach_health(
+        self, params: Optional[HealthParams] = None
+    ) -> HealthMonitor:
+        """Attach a thermal health monitor to this machine.
+
+        The monitor samples through its own quantised (optionally
+        noisy) :class:`~repro.thermal.sensors.SensorBank` — never the
+        true integrator state — and classifies against thresholds
+        pinned to this machine's idle baseline.  Call once; the monitor
+        is also exposed as :attr:`health`.
+        """
+        if self.health is not None:
+            raise ConfigurationError("health monitor already attached")
+        params = params or HealthParams()
+        cfg = self.config
+        core_nodes = list(range(cfg.num_cores))
+        rng = self.rng.stream("health-sensors") if params.noisy else None
+        self.health = HealthMonitor(
+            self.sim,
+            params.sensor_bank(core_nodes, rng),
+            lambda: self.integrator.temps,
+            thresholds=params.thresholds(self.idle_mean_temp),
+            period=params.period,
+        )
+        return self.health
 
     # ------------------------------------------------------------------
     # Physics co-simulation

@@ -16,7 +16,11 @@ Expectations mirror the paper's: DVFS trades throughput steeply but
 wins deep reductions; TCC pays QoS for little cooling (§3.4, "failing
 to achieve even 1:1"); placement/migration are nearly QoS-free but
 shallow (they spread heat, they don't remove it); injection sits in
-between; and injection + migration compose.
+between; and injection + migration compose.  The ``alert-reactive``
+row is the §1 contrast made concrete: a monitor-driven DTM daemon that
+throttles only *after* a critical alert fires — its alert count and
+time-in-critical columns show the emergencies preventive injection
+never lets happen.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from ..core.pareto import TradeoffPoint, pareto_boundary
 from ..cpu.tcc import TccSetting
 from ..experiments.config import ExperimentConfig
 from ..experiments.reporting import format_table, percent
+from ..health import HealthParams
 from ..telemetry.registry import registry as _metrics_registry
 from ..workloads.webserver import QOS_TOLERABLE
 from .experiment import _FleetRun, _measure_rack, _offered_load
@@ -55,6 +60,7 @@ def techniques(p: float) -> List[Technique]:
         Technique("dimetrodon", p=p),
         Technique("dvfs-min", dvfs_min=True),
         Technique("tcc-50", tcc_duty=0.5),
+        Technique("alert-reactive", policy="alert-reactive"),
         Technique("heat-and-run", heat_and_run=True),
         Technique("coolest", policy="coolest"),
         Technique("migrate", policy="migrate"),
@@ -71,6 +77,8 @@ class TechniqueRow:
     #: Intra-chip heat-and-run migrations summed over nodes (the
     #: inter-chip count lives in ``run.migrations``).
     core_migrations: int = 0
+    #: This rack's health summary (JSON-safe) for the manifest.
+    health: Optional[dict] = None
 
     def tradeoff(self, baseline: _FleetRun, idle_mean: float) -> TradeoffPoint:
         """Temperature reduction vs QoS-good reduction, fig4-style."""
@@ -142,6 +150,9 @@ class FleetCompareResult:
                     run.peak_temp - self.idle_mean_temp,
                     percent(rel_good),
                     percent(rel_tol),
+                    run.alerts,
+                    run.time_in_critical_s,
+                    run.time_throttled_s,
                     run.migrations + row.core_migrations,
                     run.energy / 1e3,
                     "*" if row.technique.name in efficient else "",
@@ -160,6 +171,9 @@ class FleetCompareResult:
                 "peak [C]",
                 "QoS good",
                 "QoS tol.",
+                "alerts",
+                "crit [s]",
+                "thr [s]",
                 "migr",
                 "energy [kJ]",
                 "pareto",
@@ -167,6 +181,10 @@ class FleetCompareResult:
             table_rows,
             title=title,
         )
+
+    def health_payload(self) -> dict:
+        """Per-technique health summaries for the manifest."""
+        return {row.technique.name: row.health for row in self.rows}
 
 
 def _node_setup_for(
@@ -210,6 +228,7 @@ def fleet_compare_experiment(
     p: float = 0.65,
     idle_quantum: float = 0.050,
     warmup: float = 5.0,
+    health_params: Optional[HealthParams] = None,
 ) -> FleetCompareResult:
     """Rack-wide cross-technique comparison (fig4 at fleet scale).
 
@@ -243,6 +262,7 @@ def fleet_compare_experiment(
             idle_quantum=idle_quantum,
             policy=technique.policy,
             node_setup=_node_setup_for(technique, core_policies),
+            health_params=health_params,
         )
         run = measurement.run
         result.idle_mean_temp = measurement.fleet.idle_mean_temp
@@ -251,6 +271,7 @@ def fleet_compare_experiment(
                 technique=technique,
                 run=run,
                 core_migrations=sum(hr.migrations for hr in core_policies),
+                health=measurement.health.summary(),
             )
         )
         metrics.counter("compare.racks").inc()

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..experiments.config import ExperimentConfig
 from ..experiments.reporting import format_table, percent
+from ..health import FleetHealth, HealthParams
 from ..sim.rng import RngRegistry
 from ..telemetry.registry import registry as _metrics_registry
 from ..workloads.loadshapes import ArrivalProcess
@@ -44,6 +45,15 @@ class _FleetRun:
     requests: int
     migrations: int = 0
     migration_cost_s: float = 0.0
+    #: Health-monitor rollups (warning + critical escalations, summed
+    #: machine-seconds in each state) and, for the alert-reactive
+    #: policy, the controllers' time-weighted throttle dwell.
+    alerts: int = 0
+    critical_alerts: int = 0
+    time_in_warning_s: float = 0.0
+    time_in_critical_s: float = 0.0
+    throttle_engagements: int = 0
+    time_throttled_s: float = 0.0
 
 
 @dataclass
@@ -62,6 +72,9 @@ class FleetResult:
     injected: _FleetRun
     chip_substeps_per_s: float
     policy: str = "round-robin"
+    #: Per-rack health summaries (JSON-safe) for the manifest.
+    baseline_health: Optional[dict] = None
+    injected_health: Optional[dict] = None
 
     def render(self) -> str:
         rows = [
@@ -74,6 +87,8 @@ class FleetResult:
                 percent(1.0),
                 percent(1.0),
                 self.baseline.mean_response,
+                self.baseline.alerts,
+                self.baseline.time_in_critical_s,
                 self.baseline.migrations,
                 self.baseline.energy / 1e3,
                 self.baseline.work_done,
@@ -91,6 +106,8 @@ class FleetResult:
                     )
                 ),
                 self.injected.mean_response,
+                self.injected.alerts,
+                self.injected.time_in_critical_s,
                 self.injected.migrations,
                 self.injected.energy / 1e3,
                 self.injected.work_done,
@@ -112,6 +129,8 @@ class FleetResult:
                 "QoS good",
                 "QoS tol.",
                 "mean resp [s]",
+                "alerts",
+                "crit [s]",
                 "migr",
                 "energy [kJ]",
                 "work [CPU-s]",
@@ -119,6 +138,13 @@ class FleetResult:
             rows,
             title=title,
         )
+
+    def health_payload(self) -> dict:
+        """The manifest's ``health`` section for this experiment."""
+        return {
+            "baseline": self.baseline_health,
+            "dimetrodon": self.injected_health,
+        }
 
     @staticmethod
     def _relative(value: float, base: float) -> float:
@@ -156,6 +182,7 @@ class RackMeasurement:
     fleet: FleetMachine
     servers: List[WebServer]
     run: _FleetRun
+    health: Optional[FleetHealth] = None
 
     def pooled_requests(self):
         """Every request logged anywhere in the rack (arrival order is
@@ -174,8 +201,10 @@ def _measure_rack(
     policy: str = "round-robin",
     node_setup: Optional[Callable[[FleetNode], Any]] = None,
     arrivals: Optional[ArrivalProcess] = None,
+    health_params: Optional[HealthParams] = None,
 ) -> RackMeasurement:
-    """Build, load-balance, and run one rack; score its QoS window.
+    """Build, load-balance, monitor, and run one rack; score its QoS
+    window.
 
     ``policy`` names the scheduling policy (``repro.fleet.scheduling``
     registry).  ``node_setup``, when given, runs once per node before
@@ -184,8 +213,14 @@ def _measure_rack(
     object with a ``stop()`` method is stopped after the run.
     ``arrivals`` replaces the front door's fixed-rate Poisson stream
     with a shaped arrival process (see ``repro.workloads.loadshapes``).
+
+    Every rack runs with health monitors attached (``health_params``
+    overrides the default :class:`~repro.health.HealthParams`) — the
+    production posture: monitoring is not optional, and the
+    alert-reactive policy requires it.
     """
     fleet = FleetMachine(config, machines=machines)
+    health = fleet.attach_health(health_params)
     servers: List[WebServer] = [
         WebServer(node.scheduler, node.rng.stream("web"), external_arrivals=True)
         for node in fleet.nodes
@@ -197,6 +232,7 @@ def _measure_rack(
         rate=machines * servers[0].arrival_rate,
         rng=RngRegistry(config.seed).stream("fleet-balancer"),
         arrivals=arrivals,
+        health=health,
     )
     attachments = []
     if node_setup is not None:
@@ -209,6 +245,9 @@ def _measure_rack(
             node.control.set_global_policy(p, idle_quantum)
     fleet.run(duration)
     bundle.stop()
+    bundle.finalize(fleet.now)
+    health.stop()
+    health.finalize()
     for attachment in attachments:
         attachment.stop()
 
@@ -234,8 +273,14 @@ def _measure_rack(
         requests=count,
         migrations=bundle.migrations,
         migration_cost_s=bundle.migration_cost_seconds,
+        alerts=health.alerts,
+        critical_alerts=health.critical_alerts,
+        time_in_warning_s=health.time_in_warning,
+        time_in_critical_s=health.time_in_critical,
+        throttle_engagements=bundle.throttle_engagements,
+        time_throttled_s=bundle.time_throttled_seconds,
     )
-    return RackMeasurement(fleet=fleet, servers=servers, run=run)
+    return RackMeasurement(fleet=fleet, servers=servers, run=run, health=health)
 
 
 def fleet_experiment(
@@ -247,6 +292,7 @@ def fleet_experiment(
     idle_quantum: float = 0.050,
     warmup: float = 5.0,
     policy: str = "round-robin",
+    health_params: Optional[HealthParams] = None,
 ) -> FleetResult:
     """Rack-wide QoS vs temperature reduction under idle injection.
 
@@ -260,6 +306,8 @@ def fleet_experiment(
     see :data:`repro.fleet.scheduling.POLICY_NAMES`) used by *both*
     racks, so the report shows what injection buys under that policy.
     The default reproduces the original round-robin experiment exactly.
+    ``health_params`` overrides the monitoring thresholds (the CLI's
+    ``--health-*`` flags); both racks share them.
     """
     if machines is None:
         # The presets differ only in timing; the longer paper-faithful
@@ -283,9 +331,10 @@ def fleet_experiment(
         p=0.0,
         idle_quantum=idle_quantum,
         policy=policy,
+        health_params=health_params,
     )
     base_fleet, baseline = base_measurement.fleet, base_measurement.run
-    injected = _measure_rack(
+    injected_measurement = _measure_rack(
         config,
         machines=machines,
         duration=duration,
@@ -293,7 +342,9 @@ def fleet_experiment(
         p=p,
         idle_quantum=idle_quantum,
         policy=policy,
-    ).run
+        health_params=health_params,
+    )
+    injected = injected_measurement.run
     substeps1, wall1 = _physics_totals()
 
     idle_mean = base_fleet.idle_mean_temp
@@ -317,6 +368,8 @@ def fleet_experiment(
         injected=injected,
         chip_substeps_per_s=(substeps1 - substeps0) / wall if wall > 0 else 0.0,
         policy=policy,
+        baseline_health=base_measurement.health.summary(),
+        injected_health=injected_measurement.health.summary(),
     )
 
 

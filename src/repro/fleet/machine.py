@@ -69,6 +69,7 @@ from ..cpu.chip import Chip
 from ..cpu.power import FleetCoefficients, PowerCoefficients
 from ..errors import ConfigurationError
 from ..experiments.config import ExperimentConfig
+from ..health import FleetHealth, HealthMonitor, HealthParams
 from ..instruments.powermeter import PowerMeter
 from ..instruments.templog import TemperatureLog
 from ..sched.scheduler import Scheduler
@@ -200,6 +201,8 @@ class FleetNode:
         self.pending: Deque[_PendingSegment] = deque()
         #: End of the last recorded piece (= this node's last event).
         self.last_physics_time = fleet.sim.now
+        #: This node's health monitor once the fleet attaches one.
+        self.health: Optional[HealthMonitor] = None
 
         self.scheduler.start()
 
@@ -313,6 +316,47 @@ class FleetMachine:
         #: Cohort-width -> last coefficient stack, for epoch-multiplexed
         #: reuse (aligned fleets rebuild nothing in steady state).
         self._stack_cache: Dict[int, FleetCoefficients] = {}
+        #: Rack-level health aggregation once :meth:`attach_health` runs.
+        self.health: Optional[FleetHealth] = None
+
+    # ------------------------------------------------------------------
+    # Health monitoring
+    # ------------------------------------------------------------------
+    def attach_health(self, params: Optional[HealthParams] = None) -> FleetHealth:
+        """Attach one :class:`~repro.health.HealthMonitor` per node.
+
+        Each monitor samples through its own quantised (optionally
+        noisy) :class:`~repro.thermal.sensors.SensorBank` at the
+        params' period, with rise thresholds pinned to this rack's idle
+        baseline.  Noisy monitors draw from the node's dedicated
+        ``"health-sensors"`` RNG stream, so monitor reads never perturb
+        the temperature log's noise sequence and identical seeds
+        reproduce identical alert streams.  Monitors run through each
+        node's sim view, so a sample sees physics integrated up to the
+        sampling instant.
+        """
+        if self.health is not None:
+            raise ConfigurationError("fleet already has health monitors attached")
+        params = params if params is not None else HealthParams()
+        thresholds = params.thresholds(self.idle_mean_temp)
+        core_nodes = list(range(self.config.num_cores))
+        monitors = []
+        for node in self.nodes:
+            rng = node.rng.stream("health-sensors") if params.noisy else None
+            monitor = HealthMonitor(
+                node.simview,
+                params.sensor_bank(core_nodes, rng),
+                lambda j=node.index: self._node_temps(j),
+                thresholds=thresholds,
+                period=params.period,
+                machine=node.index,
+            )
+            node.health = monitor
+            monitors.append(monitor)
+        self.health = FleetHealth(
+            monitors, params=params, idle_mean=self.idle_mean_temp
+        )
+        return self.health
 
     # ------------------------------------------------------------------
     # Physics co-simulation

@@ -42,6 +42,7 @@ from ..core.pareto import TradeoffPoint, pareto_boundary
 from ..errors import ConfigurationError
 from ..experiments.config import ExperimentConfig
 from ..experiments.reporting import format_table, percent
+from ..health import HealthParams
 from ..sim.rng import RngRegistry
 from ..telemetry.registry import registry as _metrics_registry
 from ..workloads.loadshapes import (
@@ -145,6 +146,9 @@ class ScenarioRow:
     #: Whole-run p95 response time over answered requests in the
     #: scoring span, seconds (None when nothing was answered).
     p95_response: Optional[float] = None
+    #: This cell's compact health summary (JSON-safe, no per-machine
+    #: detail — the grid would multiply it by machines × cells).
+    health: Optional[Dict[str, object]] = None
 
 
 def _tradeoff(
@@ -239,6 +243,8 @@ class ScenariosResult:
                     _pct(worst),
                     summary["time_in_violation_s"],
                     "n/a" if row.p95_response is None else row.p95_response,
+                    row.run.alerts,
+                    row.run.time_in_critical_s,
                     row.run.migrations,
                     "*" if (row.shape, row.policy, row.p) in efficient else "",
                 ]
@@ -264,6 +270,8 @@ class ScenariosResult:
                     "worst win",
                     "viol [s]",
                     "p95 [s]",
+                    "alerts",
+                    "crit [s]",
                     "migr",
                     "pareto",
                 ],
@@ -308,6 +316,10 @@ class ScenariosResult:
                     "requests": row.run.requests,
                     "migrations": row.run.migrations,
                     "p95_response": _json_safe(row.p95_response),
+                    "alerts": row.run.alerts,
+                    "critical_alerts": row.run.critical_alerts,
+                    "time_in_warning_s": _json_safe(row.run.time_in_warning_s),
+                    "time_in_critical_s": _json_safe(row.run.time_in_critical_s),
                 }
             )
         pareto: Dict[str, list] = {}
@@ -341,6 +353,26 @@ class ScenariosResult:
             "pareto": pareto,
         }
 
+    def health_payload(self) -> Dict[str, object]:
+        """Compact per-cell health section for the manifest: the shared
+        monitoring config once, then one totals row per grid cell."""
+        config = None
+        cells = []
+        for row in self.rows:
+            if row.health is None:
+                continue
+            if config is None:
+                config = row.health.get("config")
+            cells.append(
+                {
+                    "shape": row.shape,
+                    "policy": row.policy,
+                    "p": row.p,
+                    "totals": row.health.get("totals"),
+                }
+            )
+        return {"config": config, "cells": cells}
+
 
 def _pct(fraction: Optional[float]) -> str:
     return "n/a" if fraction is None else percent(fraction)
@@ -366,6 +398,7 @@ def scenarios_experiment(
     warmup: float = 5.0,
     window: Optional[float] = None,
     policy: Optional[str] = None,
+    health_params: Optional[HealthParams] = None,
 ) -> ScenariosResult:
     """Sweep injection probability × load shape × scheduling policy.
 
@@ -444,6 +477,7 @@ def scenarios_experiment(
                     idle_quantum=idle_quantum,
                     policy=policy_name,
                     arrivals=arrivals,
+                    health_params=health_params,
                 )
                 result.idle_mean_temp = measurement.fleet.idle_mean_temp
                 pooled = measurement.pooled_requests()
@@ -467,6 +501,7 @@ def scenarios_experiment(
                         run=measurement.run,
                         report=report,
                         p95_response=p95,
+                        health=measurement.health.summary(per_machine=False),
                     )
                 )
                 metrics.counter("racks").inc()

@@ -23,7 +23,12 @@ from .migration import (
     MigrationCostModel,
     MigrationPolicy,
 )
-from .placement import STRATEGIES, ThermalBalancer, sampled_machine_temps
+from .placement import (
+    STRATEGIES,
+    AlertDrainBalancer,
+    ThermalBalancer,
+    sampled_machine_temps,
+)
 from .registry import (
     DEFAULT_THRESHOLD_RISE,
     POLICY_NAMES,
@@ -33,6 +38,7 @@ from .registry import (
 )
 
 __all__ = [
+    "AlertDrainBalancer",
     "CacheAwareMigrationPolicy",
     "DEFAULT_THRESHOLD_RISE",
     "FleetMigrationEvent",

@@ -34,9 +34,10 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ...errors import ConfigurationError
+from ...health import FleetHealth, HealthState
 from ...workloads.loadshapes import ArrivalProcess
 from ...workloads.webserver import WebServer
-from ..balancer import Balancer
+from ..balancer import Balancer, RoundRobinBalancer
 from ..machine import FleetMachine
 
 #: Temperatures within this many °C of the minimum count as tied.
@@ -145,3 +146,54 @@ class ThermalBalancer(Balancer):
         chosen = int(following[0] if following.size else candidates[0])
         self._next = (chosen + 1) % len(self.servers)
         return chosen
+
+
+class AlertDrainBalancer(RoundRobinBalancer):
+    """Round-robin placement that drains machines in CRITICAL.
+
+    The ``alert-reactive`` policy's front door: arrivals cycle the rack
+    as usual, but any machine whose health monitor currently classifies
+    it CRITICAL is skipped — its placement weight drains to the rest of
+    the rack until the monitor's hysteresis re-arms.  When *every*
+    machine is critical there is nowhere cool to drain to and placement
+    degrades to plain round-robin (shedding load entirely is a policy
+    decision this simulator does not take for you).
+
+    Like :class:`ThermalBalancer`, decisions read only management-plane
+    state (the monitors' latest classification, itself derived from
+    quantised sensor samples) — never the physics oracle.  With no
+    machine critical the cursor walk is exactly round-robin.
+    """
+
+    policy_name = "alert-drain"
+
+    def __init__(
+        self,
+        fleet: FleetMachine,
+        servers: Sequence[WebServer],
+        *,
+        rate: float,
+        rng: np.random.Generator,
+        health: FleetHealth,
+        arrivals: Optional[ArrivalProcess] = None,
+    ):
+        if len(health) != len(servers):
+            raise ConfigurationError(
+                f"alert-drain balancer got {len(health)} monitors for "
+                f"{len(servers)} machines"
+            )
+        super().__init__(fleet, servers, rate=rate, rng=rng, arrivals=arrivals)
+        self.health = health
+        #: Arrivals that skipped at least one critical machine.
+        self.drained = 0
+
+    def select(self) -> int:
+        count = len(self.servers)
+        for offset in range(count):
+            index = (self._next + offset) % count
+            if self.health[index].state is not HealthState.CRITICAL:
+                if offset:
+                    self.drained += 1
+                self._next = (index + 1) % count
+                return index
+        return super().select()  # whole rack critical: no drain target

@@ -1,0 +1,31 @@
+"""Online thermal health monitoring: hysteresis alerting over sensor
+readings, dwell accounting, and rack-level rollups.
+
+See :mod:`repro.health.monitor` for the state machine and the in-sim
+monitoring daemon, :mod:`repro.health.fleet` for aggregation, and
+``docs/monitoring.md`` for semantics and the alert-driven DTM baseline.
+"""
+
+from .fleet import FleetHealth
+from .monitor import (
+    AlertEvent,
+    HealthMonitor,
+    HealthParams,
+    HealthState,
+    HealthThresholds,
+    HealthTracker,
+    HysteresisClassifier,
+    ThresholdLatch,
+)
+
+__all__ = [
+    "AlertEvent",
+    "FleetHealth",
+    "HealthMonitor",
+    "HealthParams",
+    "HealthState",
+    "HealthThresholds",
+    "HealthTracker",
+    "HysteresisClassifier",
+    "ThresholdLatch",
+]

@@ -20,7 +20,8 @@ from typing import Any, Dict, List, Optional, Union
 from ..errors import TelemetryError
 
 #: Bump when the manifest payload layout changes.
-MANIFEST_SCHEMA_VERSION = 1
+#: 2: added the structured ``health`` section (thermal alerting).
+MANIFEST_SCHEMA_VERSION = 2
 
 
 def git_describe(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
@@ -79,6 +80,12 @@ class RunManifest:
     #: experiment's per-window SLO series and Pareto tables.  Payloads
     #: must be strict JSON (no NaN/Inf; ``None`` is the no-data marker).
     artifacts: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Per-experiment thermal-health sections (``name -> payload``) from
+    #: results exposing ``health_payload()``: monitoring config (trip
+    #: temperatures, hysteresis, monitor period, sensor model,
+    #: controller ladder), alert counts, per-state dwell times,
+    #: since-boot flags.  Strict JSON like ``artifacts``.
+    health: Dict[str, Any] = dataclasses.field(default_factory=dict)
     schema: int = MANIFEST_SCHEMA_VERSION
 
     # ------------------------------------------------------------------

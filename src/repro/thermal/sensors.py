@@ -60,6 +60,20 @@ class SensorBank:
         return cls([TemperatureSensor(i, quantization=0.0) for i in node_indices])
 
     @classmethod
+    def quantized(
+        cls, node_indices: Sequence[int], *, quantization: float = 1.0
+    ) -> "SensorBank":
+        """Noise-free sensors with coretemp-like quantisation only.
+
+        This is the health monitor's default view: deterministic (no
+        RNG needed) but still coarser than true node state, so
+        management-plane code never observes the physics directly.
+        """
+        return cls(
+            [TemperatureSensor(i, quantization=quantization) for i in node_indices]
+        )
+
+    @classmethod
     def coretemp(
         cls,
         node_indices: Sequence[int],

@@ -382,3 +382,134 @@ def test_fleet_policies_end_to_end_with_manifests(tmp_path, capsys):
         assert sum(placement) == manifest.metrics["fleet.balancer.routed"]["value"]
         if name in ("migrate", "cache-aware"):
             assert manifest.metrics["fleet.migrations"]["value"] >= 0
+
+
+# ----------------------------------------------------------------------
+# Health monitoring flags
+# ----------------------------------------------------------------------
+def test_parser_accepts_health_flags():
+    args = build_parser().parse_args(
+        [
+            "fleet",
+            "--health-warning-rise",
+            "2.0",
+            "--health-critical-rise",
+            "4.0",
+            "--health-period",
+            "0.5",
+        ]
+    )
+    assert args.health_warning_rise == 2.0
+    assert args.health_critical_rise == 4.0
+    assert args.health_period == 0.5
+    defaults = build_parser().parse_args(["fleet"])
+    assert defaults.health_warning_rise is None
+    assert defaults.health_critical_rise is None
+    assert defaults.health_period is None
+
+
+def test_health_params_from_args_builds_override_only_when_flagged():
+    from repro.cli import health_params_from_args
+
+    assert health_params_from_args(build_parser().parse_args(["fleet"])) is None
+    params = health_params_from_args(
+        build_parser().parse_args(["fleet", "--health-critical-rise", "9.0"])
+    )
+    assert params.critical_rise == 9.0
+    assert params.warning_rise == 3.5  # untouched default
+
+
+def test_supports_health_covers_monitored_experiments():
+    from repro.cli import supports_health
+
+    monitored = {
+        name for name, (_, func) in EXPERIMENTS.items() if supports_health(func)
+    }
+    assert monitored == {"fig2", "fleet", "fleet-compare", "scenarios"}
+
+
+def test_health_flags_rejected_for_unmonitored_experiments(capsys):
+    assert main(["fig1", "--health-critical-rise", "9.0"]) == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "--health-" in captured.err
+    assert "Traceback" not in captured.err + captured.out
+
+
+def test_inverted_health_thresholds_are_a_configuration_error(capsys):
+    assert (
+        main(
+            [
+                "fleet",
+                "--health-warning-rise",
+                "9.0",
+                "--health-critical-rise",
+                "3.0",
+            ]
+        )
+        == 2
+    )
+    captured = capsys.readouterr()
+    assert "critical rise must exceed warning rise" in captured.err
+    assert "Traceback" not in captured.err + captured.out
+
+
+def test_fleet_manifest_carries_health_section(tmp_path, capsys):
+    """`python -m repro fleet --metrics` records the structured health
+    section: config + totals per rack, plus health.* telemetry."""
+    from repro.telemetry import RunManifest
+
+    manifest_path = tmp_path / "fleet.json"
+    assert (
+        main(
+            [
+                "fleet",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--metrics",
+                str(manifest_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "alerts" in out and "crit [s]" in out
+    manifest = RunManifest.load(manifest_path)
+    health = manifest.health["fleet"]
+    assert set(health) == {"baseline", "dimetrodon"}
+    for rack in health.values():
+        assert rack["config"]["thresholds"]["critical_c"] > 0
+        assert rack["totals"]["alerts"] >= 0
+    # The hot web baseline trips critical with default thresholds.
+    assert health["baseline"]["totals"]["critical_alerts"] > 0
+    assert health["baseline"]["totals"]["time_in_critical_s"] > 0
+    assert manifest.metrics["health.samples"]["value"] > 0
+
+
+def test_cool_thresholds_give_alert_free_manifest(tmp_path):
+    """Raising the thresholds far above any reachable rise makes the
+    same run alert-free (the CI monitor-smoke cool case)."""
+    from repro.telemetry import RunManifest
+
+    manifest_path = tmp_path / "cool.json"
+    assert (
+        main(
+            [
+                "fleet",
+                "--health-warning-rise",
+                "80",
+                "--health-critical-rise",
+                "90",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--metrics",
+                str(manifest_path),
+            ]
+        )
+        == 0
+    )
+    manifest = RunManifest.load(manifest_path)
+    for rack in manifest.health["fleet"].values():
+        assert rack["totals"]["alerts"] == 0
+        assert rack["totals"]["time_in_critical_s"] == 0.0
+        assert rack["config"]["warning_rise_c"] == 80.0

@@ -96,3 +96,147 @@ def test_history_records_actions():
     assert controller.history
     duties = [e.duty for e in controller.history]
     assert min(duties) < 1.0
+
+
+# ======================================================================
+# Time-weighted throttle accounting
+# ======================================================================
+def test_throttle_stats_account_and_to_dict():
+    from repro.core.dtm import ThrottleStats
+
+    stats = ThrottleStats()
+    stats.account(1.0, 5.0)  # unthrottled dwell
+    stats.account(0.5, 2.0)
+    stats.account(0.5, 1.0)
+    stats.account(0.25, 0.5)
+    stats.account(0.25, 0.0)  # zero dwell is a no-op
+    assert stats.time_throttled == pytest.approx(3.5)
+    assert stats.duty_dwell == {1.0: 5.0, 0.5: 3.0, 0.25: 0.5}
+    with pytest.raises(ConfigurationError):
+        stats.account(0.5, -1.0)
+    payload = stats.to_dict()
+    assert payload["time_throttled_s"] == pytest.approx(3.5)
+    assert payload["duty_dwell_s"] == {"0.25": 0.5, "0.5": 3.0, "1": 5.0}
+
+
+def test_reactive_controller_time_weighted_dwell():
+    machine = Machine(fast_config())
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    controller = build(machine, trip=46.0, period=0.1)
+    machine.run(60.0)
+    controller.stop()
+    controller.finalize(machine.now)
+    stats = controller.stats
+    assert stats.time_throttled > 0.0
+    # Dwell partitions the whole run (controller started at t=0).
+    assert sum(stats.duty_dwell.values()) == pytest.approx(machine.now)
+    # Finalize is idempotent: closing again adds nothing.
+    controller.finalize(machine.now)
+    assert sum(stats.duty_dwell.values()) == pytest.approx(machine.now)
+
+
+# ======================================================================
+# AlertDrivenController (monitor-driven reactive DTM)
+# ======================================================================
+def _monitored_machine(*, warning_rise=1.5, critical_rise=3.0, period=0.5):
+    from repro.health import HealthParams
+
+    machine = Machine(fast_config())
+    monitor = machine.attach_health(
+        HealthParams(
+            warning_rise=warning_rise,
+            critical_rise=critical_rise,
+            period=period,
+        )
+    )
+    return machine, monitor
+
+
+def test_alert_driven_controller_engages_on_critical_only():
+    from repro.core import AlertDrivenController
+    from repro.health import HealthState
+
+    machine, monitor = _monitored_machine()
+    controller = AlertDrivenController(machine.chip, monitor)
+    # The default ladder drops the no-op 100% rung: the first
+    # engagement must actually modulate the clock.
+    assert all(s.duty < 1.0 for s in controller.ladder)
+    machine.run(5.0)  # idle: never critical
+    assert not controller.throttling
+    assert controller.stats.engagements == 0
+
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    machine.run(60.0)
+    assert controller.stats.engagements >= 1
+    assert controller.stats.samples_over_trip >= 1
+    assert machine.chip.tcc.duty < 1.0 or monitor.state is not HealthState.CRITICAL
+
+
+def test_alert_driven_controller_descends_while_critical_persists():
+    from repro.core import AlertDrivenController
+
+    machine, monitor = _monitored_machine(critical_rise=2.0)
+    controller = AlertDrivenController(machine.chip, monitor)
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    machine.run(60.0)
+    # Persistent criticality walks the ladder down through >1 duty.
+    throttled_duties = {e.duty for e in controller.history if e.duty < 1.0}
+    assert len(throttled_duties) >= 2
+
+
+def test_alert_driven_controller_releases_on_recovery():
+    from repro.core import AlertDrivenController
+    from repro.health import HealthState
+
+    machine, monitor = _monitored_machine(critical_rise=2.5)
+    controller = AlertDrivenController(machine.chip, monitor)
+    threads = [machine.scheduler.spawn(CpuBurn()) for _ in range(4)]
+    machine.run(40.0)
+    assert controller.throttling
+    for t in threads:
+        machine.scheduler.terminate(t)
+    machine.run(40.0)
+    # The machine cooled below critical - hysteresis: full release.
+    assert monitor.state is not HealthState.CRITICAL
+    assert not controller.throttling
+    assert machine.chip.tcc.duty == 1.0
+    # Release is a single jump to TCC_OFF, not a notch-by-notch climb.
+    releases = [e for e in controller.history if e.duty == 1.0]
+    assert releases
+
+
+def test_alert_driven_controller_params_for_manifest():
+    from repro.core import AlertDrivenController
+
+    machine, monitor = _monitored_machine(period=0.5)
+    controller = AlertDrivenController(machine.chip, monitor)
+    params = controller.params()
+    assert params["kind"] == "alert-driven"
+    assert params["trip_temp_c"] == pytest.approx(monitor.thresholds.critical)
+    assert params["release_temp_c"] == pytest.approx(
+        monitor.thresholds.critical - monitor.thresholds.hysteresis
+    )
+    assert params["monitor_period_s"] == 0.5
+    assert 1.0 not in params["ladder_duties"]
+
+
+def test_alert_driven_controller_dwell_matches_critical_time():
+    """Time-weighted accounting: the controller throttles exactly while
+    the monitor holds CRITICAL (within one monitor period of slack at
+    each transition)."""
+    from repro.core import AlertDrivenController
+
+    machine, monitor = _monitored_machine(critical_rise=2.0, period=0.5)
+    controller = AlertDrivenController(machine.chip, monitor)
+    for _ in range(4):
+        machine.scheduler.spawn(CpuBurn())
+    machine.run(30.0)
+    monitor.stop()
+    monitor.finalize()
+    controller.finalize(machine.now)
+    critical = monitor.tracker.time_in_critical
+    assert critical > 0.0
+    assert controller.stats.time_throttled == pytest.approx(critical, abs=1.0)

@@ -483,9 +483,10 @@ def test_registry_builds_every_policy(name):
     cfg = fast_config(0)
     with isolated() as reg:
         fleet = FleetMachine(cfg, machines=2)
+        health = fleet.attach_health()
         servers = _servers(fleet)
         bundle = build_policy(
-            name, fleet, servers, rate=10.0, rng=_balancer_rng(cfg)
+            name, fleet, servers, rate=10.0, rng=_balancer_rng(cfg), health=health
         )
         assert isinstance(bundle, PolicyBundle)
         assert bundle.name == name
@@ -493,6 +494,10 @@ def test_registry_builds_every_policy(name):
         assert (bundle.migration is not None) == expects_migration
         assert bundle.migrations == 0
         assert bundle.migration_cost_seconds == 0.0
+        expects_controllers = name == "alert-reactive"
+        assert bool(bundle.controllers) == expects_controllers
+        assert bundle.throttle_engagements == 0
+        assert bundle.time_throttled_seconds == 0.0
         # The uniform counter set exists whatever the policy.
         assert reg.value("fleet.migrations") == 0
         assert reg.value("fleet.migration_cost_ms") == 0

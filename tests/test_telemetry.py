@@ -311,3 +311,24 @@ def test_git_describe_in_repo_and_outside(tmp_path):
     assert isinstance(git_describe(), str)
     # ...and a bare tmp dir yields None rather than an error.
     assert git_describe(tmp_path) is None
+
+
+def test_manifest_schema_v2_health_section(tmp_path):
+    """Schema 2 added the structured health section; it round-trips and
+    defaults to empty for health-free runs."""
+    assert MANIFEST_SCHEMA_VERSION == 2
+    assert sample_manifest().health == {}
+    manifest = sample_manifest()
+    manifest.health = {
+        "fleet": {
+            "baseline": {
+                "config": {"warning_rise_c": 3.5},
+                "totals": {"alerts": 4, "time_in_critical_s": 18.0},
+            }
+        }
+    }
+    path = tmp_path / "health.json"
+    manifest.write(path)
+    loaded = RunManifest.load(path)
+    assert loaded == manifest
+    assert loaded.health["fleet"]["baseline"]["totals"]["alerts"] == 4
