@@ -14,19 +14,21 @@ Examples
     python -m repro fig3 --resume               # pick up an interrupted sweep
     python -m repro smoke --inject-faults "crash@1,hang@3:30"  # chaos test
 
-Experiments built from independent characterization / finite runs
-(fig3, fig4, table1, the validations, smoke) execute through the
-:mod:`repro.runtime` batch layer: ``--jobs N`` runs them on a worker
-pool and results are cached on disk (default ``.repro-cache/``) so a
-repeat invocation is nearly instant.  Batch runs are hardened:
-``--timeout`` kills hung workers, transient failures retry with
-backoff (``--max-retries``), an interrupted sweep resumes from its
-journal (``--resume``), ``--keep-going`` degrades gracefully past
-terminal failures, and ``--inject-faults`` chaos-tests all of the
-above (see ``docs/robustness.md``).  ``--jobs``/caching have no effect
-on the single-machine experiments (fig1, fig2, fig5, fig6) or the
-fleet experiment, which interleave all their events on one simulated
-testbed (the fleet batches its physics internally instead).
+Experiments built from independent runs — the characterization /
+finite sweeps (fig3, fig4, table1, the validations, smoke) *and* the
+rack-cell grids (fleet, fleet-compare, scenarios) — execute through
+the :mod:`repro.runtime` batch layer: ``--jobs N`` runs them on a
+worker pool and results are cached on disk (default
+``.repro-cache/``) so a repeat invocation is nearly instant.  Batch
+runs are hardened: ``--timeout`` kills hung workers, transient
+failures retry with backoff (``--max-retries``), an interrupted sweep
+resumes from its journal (``--resume``), ``--keep-going`` degrades
+gracefully past terminal failures, and ``--inject-faults``
+chaos-tests all of the above (see ``docs/robustness.md``).  The
+single-machine experiments (fig1, fig2, fig5, fig6) interleave all
+their events on one simulated testbed — there is nothing to pool or
+cache, and asking for it is a usage error (exit 2), not a silent
+no-op.
 """
 
 from __future__ import annotations
@@ -287,6 +289,51 @@ def validate_policy(experiment: str, policy: Optional[str]) -> None:
         )
 
 
+def validate_batch_flags(experiment: str, args: argparse.Namespace) -> None:
+    """Reject batch flags on an experiment that would silently ignore
+    them.
+
+    The single-machine experiments interleave every event on one
+    simulated testbed — there is nothing to pool, cache, journal, or
+    keep going past, so a ``--jobs 4`` there would be a lie the user
+    only discovers by timing the run.  ``all`` and ``list`` are exempt
+    (an ``all`` sweep legitimately mixes both kinds).
+    """
+    if experiment in ("all", "list"):
+        return
+    func = EXPERIMENTS.get(experiment, (None, None))[1]
+    if func is None or supports_runner(func):
+        return
+    ignored = []
+    if args.jobs != 1:
+        ignored.append("--jobs")
+    if args.cache_dir != DEFAULT_CACHE_DIR:
+        ignored.append("--cache-dir")
+    if args.no_cache:
+        ignored.append("--no-cache")
+    if args.progress:
+        ignored.append("--progress")
+    if args.timeout is not None:
+        ignored.append("--timeout")
+    if args.max_retries != 1:
+        ignored.append("--max-retries")
+    if args.resume:
+        ignored.append("--resume")
+    if args.keep_going:
+        ignored.append("--keep-going")
+    if args.inject_faults:
+        ignored.append("--inject-faults")
+    if ignored:
+        batch = ", ".join(
+            name for name in sorted(EXPERIMENTS) if supports_runner(EXPERIMENTS[name][1])
+        )
+        raise ConfigurationError(
+            f"{', '.join(ignored)}: no effect on {experiment!r}, which runs "
+            f"all its events on one simulated machine (batch experiments: "
+            f"{batch})"
+        )
+
+
 def _print_progress(event: ProgressEvent, runner: Optional[ParallelRunner] = None) -> None:
     params = ", ".join(f"{k}={v}" for k, v in event.spec.params.items())
     line = (
@@ -447,6 +494,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     with isolated() as metrics_registry:
         try:
             validate_policy(args.experiment, args.policy)
+            validate_batch_flags(args.experiment, args)
             health_params = health_params_from_args(args)
             validate_health(args.experiment, health_params)
             runner = make_runner(

@@ -18,12 +18,19 @@ structure-of-arrays batched physics.
 - :func:`~repro.fleet.scenarios.scenarios_experiment` — the
   ``scenarios`` CLI experiment: injection probability × load shape
   (diurnal/surge/bursty/trace) × policy, scored with the windowed SLO
-  scorer (see docs/scenarios.md).
+  scorer (see docs/scenarios.md);
+- :mod:`~repro.fleet.cells` — rack runs as batchable units of work:
+  every fleet experiment is a grid of independent
+  :func:`~repro.fleet.cells.rack_cell_spec` cells executed through the
+  :mod:`repro.runtime` pool/cache/journal stack (``--jobs``,
+  ``--cache-dir``, ``--resume``, ``--keep-going``), bit-identical to
+  the old serial loops.
 
 See docs/fleet.md for the architecture and equivalence guarantees.
 """
 
 from .balancer import Balancer, RoundRobinBalancer
+from .cells import RackCellResult, rack_cell_spec, run_rack_cell
 from .compare import FleetCompareResult, fleet_compare_experiment
 from .experiment import FleetResult, fleet_experiment
 from .machine import FleetMachine, FleetNode
@@ -54,6 +61,7 @@ __all__ = [
     "MigrationPolicy",
     "POLICY_NAMES",
     "PolicyBundle",
+    "RackCellResult",
     "RoundRobinBalancer",
     "SCENARIO_SHAPES",
     "ScenariosResult",
@@ -62,5 +70,7 @@ __all__ = [
     "build_scenario_arrivals",
     "fleet_compare_experiment",
     "fleet_experiment",
+    "rack_cell_spec",
+    "run_rack_cell",
     "scenarios_experiment",
 ]

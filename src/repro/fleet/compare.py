@@ -26,18 +26,17 @@ never lets happen.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, List, Optional, Tuple
 
-from ..core.migration import ThermalMigrationPolicy
 from ..core.pareto import TradeoffPoint, pareto_boundary
-from ..cpu.tcc import TccSetting
 from ..experiments.config import ExperimentConfig
 from ..experiments.reporting import format_table, percent
 from ..health import HealthParams
+from ..runtime.parallel import RunSpec
 from ..telemetry.registry import registry as _metrics_registry
 from ..workloads.webserver import QOS_TOLERABLE
-from .experiment import _FleetRun, _measure_rack, _offered_load
-from .machine import FleetNode
+from .cells import rack_cell_spec, require_cells, run_cells
+from .experiment import _FleetRun, _offered_load
 
 
 @dataclass(frozen=True)
@@ -187,37 +186,46 @@ class FleetCompareResult:
         return {row.technique.name: row.health for row in self.rows}
 
 
-def _node_setup_for(
-    technique: Technique, core_policies: List[ThermalMigrationPolicy]
-) -> Optional[Callable[[FleetNode], object]]:
-    """Per-node configuration hook for ``technique`` (None if the
-    technique needs no node-level setup)."""
-    if not (
-        technique.dvfs_min or technique.tcc_duty is not None or technique.heat_and_run
-    ):
-        return None
+def technique_specs(
+    config: ExperimentConfig,
+    *,
+    machines: int,
+    duration: float,
+    warmup: float,
+    p: float,
+    idle_quantum: float,
+    health_params: Optional[HealthParams] = None,
+) -> Tuple[List[Technique], List[RunSpec]]:
+    """The comparison's rack cells: ``(roster, specs)``, one spec per
+    technique, in roster (= submission = report) order.
 
-    def setup(node: FleetNode):
+    Technique knobs enter the spec only when they deviate from the
+    executor defaults, so a plain cell (the baseline) keys identically
+    to the same rack run built by any other experiment and shares its
+    cache entry.  ``tools/profile_run.py --cell`` builds a single
+    technique's spec through this function too.
+    """
+    roster = techniques(p)
+    specs = []
+    for technique in roster:
+        params: dict = dict(
+            machines=machines,
+            duration=duration,
+            warmup=warmup,
+            p=technique.p,
+            idle_quantum=idle_quantum,
+            policy=technique.policy,
+        )
         if technique.dvfs_min:
-            node.chip.set_operating_point(node.chip.dvfs_table.min_point)
+            params["dvfs_min"] = True
         if technique.tcc_duty is not None:
-            node.chip.set_tcc(TccSetting(duty=technique.tcc_duty))
+            params["tcc_duty"] = technique.tcc_duty
         if technique.heat_and_run:
-            # The reader sees the node's sampled telemetry (idle
-            # baseline before the first sample), like every other
-            # management-plane policy in this package.
-            def read_temps(node=node):
-                sample = node.templog.latest()
-                return node.fleet.idle_core_temps if sample is None else sample
-
-            policy = ThermalMigrationPolicy(
-                node.simview, node.scheduler, read_temps, period=1.0, min_delta=0.5
-            )
-            core_policies.append(policy)
-            return policy
-        return None
-
-    return setup
+            params["heat_and_run"] = True
+        if health_params is not None:
+            params["health"] = health_params
+        specs.append(rack_cell_spec(config, **params))
+    return roster, specs
 
 
 def fleet_compare_experiment(
@@ -229,6 +237,7 @@ def fleet_compare_experiment(
     idle_quantum: float = 0.050,
     warmup: float = 5.0,
     health_params: Optional[HealthParams] = None,
+    runner: Optional[Any] = None,
 ) -> FleetCompareResult:
     """Rack-wide cross-technique comparison (fig4 at fleet scale).
 
@@ -236,11 +245,31 @@ def fleet_compare_experiment(
     differ only by the technique.  The comparison rack is smaller than
     the plain ``fleet`` experiment's (8 racks run back to back): 4
     machines on the fast preset, 64 with ``--full``.
+
+    The techniques are independent rack cells: with a
+    :class:`~repro.runtime.parallel.ParallelRunner` attached they fan
+    out through its pool/cache/journal stack (bit-identical to the
+    serial loop); without one they run in-process, in roster order.
+    Under ``--keep-going`` a failed non-baseline cell drops its row
+    (the failure report names it); a lost baseline is an error, since
+    every other row is scored against it.
     """
     if machines is None:
         machines = 64 if config.characterization_duration >= 300.0 else 4
     if duration is None:
         duration = warmup + config.measure_window + QOS_TOLERABLE
+
+    roster, specs = technique_specs(
+        config,
+        machines=machines,
+        duration=duration,
+        warmup=warmup,
+        p=p,
+        idle_quantum=idle_quantum,
+        health_params=health_params,
+    )
+    cells = run_cells(runner, specs)
+    require_cells("fleet-compare", [roster[0].name], cells[:1])
 
     metrics = _metrics_registry().scope("fleet")
     result = FleetCompareResult(
@@ -251,27 +280,16 @@ def fleet_compare_experiment(
         idle_mean_temp=0.0,
         offered_load_per_core=_offered_load(config),
     )
-    for technique in techniques(p):
-        core_policies: List[ThermalMigrationPolicy] = []
-        measurement = _measure_rack(
-            config,
-            machines=machines,
-            duration=duration,
-            warmup=warmup,
-            p=technique.p,
-            idle_quantum=idle_quantum,
-            policy=technique.policy,
-            node_setup=_node_setup_for(technique, core_policies),
-            health_params=health_params,
-        )
-        run = measurement.run
-        result.idle_mean_temp = measurement.fleet.idle_mean_temp
+    for technique, cell in zip(roster, cells):
+        if cell is None:
+            continue
+        result.idle_mean_temp = cell.idle_mean_temp
         result.rows.append(
             TechniqueRow(
                 technique=technique,
-                run=run,
-                core_migrations=sum(hr.migrations for hr in core_policies),
-                health=measurement.health.summary(),
+                run=cell.run,
+                core_migrations=cell.core_migrations,
+                health=cell.health,
             )
         )
         metrics.counter("compare.racks").inc()

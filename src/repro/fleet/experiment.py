@@ -9,14 +9,17 @@ rack-wide, plus the batched-physics throughput actually achieved
 
 Fleet sizing follows the preset: the fast preset runs a small rack so
 CI finishes in seconds, ``--full`` runs hundreds of 4-core servers.
-Both run serially on one simulated event queue — ``--jobs`` and the
-result cache do not apply here (see docs/running-experiments.md).
+The two racks are independent rack cells (:mod:`repro.fleet.cells`):
+handed a :class:`~repro.runtime.parallel.ParallelRunner` they run
+through the full pool/cache/journal stack (``--jobs``, ``--cache-dir``,
+``--resume`` all apply), and without one they run in-process exactly
+as before (see docs/running-experiments.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
 import numpy as np
 
@@ -24,7 +27,6 @@ from ..experiments.config import ExperimentConfig
 from ..experiments.reporting import format_table, percent
 from ..health import FleetHealth, HealthParams
 from ..sim.rng import RngRegistry
-from ..telemetry.registry import registry as _metrics_registry
 from ..workloads.loadshapes import ArrivalProcess
 from ..workloads.webserver import QOS_GOOD, QOS_TOLERABLE, WebServer
 from .machine import FleetMachine, FleetNode
@@ -293,6 +295,7 @@ def fleet_experiment(
     warmup: float = 5.0,
     policy: str = "round-robin",
     health_params: Optional[HealthParams] = None,
+    runner: Optional[Any] = None,
 ) -> FleetResult:
     """Rack-wide QoS vs temperature reduction under idle injection.
 
@@ -308,7 +311,17 @@ def fleet_experiment(
     The default reproduces the original round-robin experiment exactly.
     ``health_params`` overrides the monitoring thresholds (the CLI's
     ``--health-*`` flags); both racks share them.
+
+    ``runner`` is an optional
+    :class:`~repro.runtime.parallel.ParallelRunner`: the two racks are
+    independent rack cells (:mod:`repro.fleet.cells`) and go through
+    its pool/cache/journal stack when one is attached; without one they
+    run in-process, in order, with identical results.
     """
+    # Imported here, not at module top: cells.py imports _measure_rack
+    # from this module, so the module-level edge must point that way.
+    from .cells import rack_cell_spec, require_cells, run_cells
+
     if machines is None:
         # The presets differ only in timing; the longer paper-faithful
         # characterization also gets the paper-scale rack.
@@ -316,45 +329,38 @@ def fleet_experiment(
     if duration is None:
         duration = warmup + config.measure_window + QOS_TOLERABLE
 
-    metrics = _metrics_registry()
-
-    def _physics_totals() -> Tuple[float, float]:
-        wall = metrics.value("fleet.advance_wall", {"total": 0.0})["total"]
-        return float(metrics.value("fleet.substeps", 0)), float(wall)
-
-    substeps0, wall0 = _physics_totals()
-    base_measurement = _measure_rack(
-        config,
+    common = dict(
         machines=machines,
         duration=duration,
         warmup=warmup,
-        p=0.0,
         idle_quantum=idle_quantum,
         policy=policy,
-        health_params=health_params,
     )
-    base_fleet, baseline = base_measurement.fleet, base_measurement.run
-    injected_measurement = _measure_rack(
-        config,
-        machines=machines,
-        duration=duration,
-        warmup=warmup,
-        p=p,
-        idle_quantum=idle_quantum,
-        policy=policy,
-        health_params=health_params,
+    if health_params is not None:
+        common["health"] = health_params
+    cells = run_cells(
+        runner,
+        [
+            rack_cell_spec(config, p=0.0, **common),
+            rack_cell_spec(config, p=p, **common),
+        ],
     )
-    injected = injected_measurement.run
-    substeps1, wall1 = _physics_totals()
+    require_cells("fleet", ["baseline", "dimetrodon"], cells)
+    base_cell, injected_cell = cells
+    baseline, injected = base_cell.run, injected_cell.run
 
-    idle_mean = base_fleet.idle_mean_temp
+    idle_mean = base_cell.idle_mean_temp
     baseline_rise = baseline.mean_temp - idle_mean
     reduction = (
         (baseline.mean_temp - injected.mean_temp) / baseline_rise
         if baseline_rise > 0
         else 0.0
     )
-    wall = wall1 - wall0
+    # Physics throughput actually achieved, wherever the cells ran:
+    # each cell carries its own substeps/wall deltas (a cached cell
+    # replays the numbers measured when it executed).
+    substeps = base_cell.substeps + injected_cell.substeps
+    wall = base_cell.advance_wall_s + injected_cell.advance_wall_s
     return FleetResult(
         machines=machines,
         duration=duration,
@@ -366,10 +372,10 @@ def fleet_experiment(
         offered_load_per_core=_offered_load(config),
         baseline=baseline,
         injected=injected,
-        chip_substeps_per_s=(substeps1 - substeps0) / wall if wall > 0 else 0.0,
+        chip_substeps_per_s=substeps / wall if wall > 0 else 0.0,
         policy=policy,
-        baseline_health=base_measurement.health.summary(),
-        injected_health=injected_measurement.health.summary(),
+        baseline_health=base_cell.health,
+        injected_health=injected_cell.health,
     )
 
 

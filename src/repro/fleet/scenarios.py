@@ -33,17 +33,16 @@ Load shapes (registry: :data:`SCENARIO_SHAPES`):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..analysis.slo import SloReport, score_windows
+from ..analysis.slo import SloReport
 from ..core.pareto import TradeoffPoint, pareto_boundary
 from ..errors import ConfigurationError
 from ..experiments.config import ExperimentConfig
 from ..experiments.reporting import format_table, percent
 from ..health import HealthParams
-from ..sim.rng import RngRegistry
 from ..telemetry.registry import registry as _metrics_registry
 from ..workloads.loadshapes import (
     ArrivalProcess,
@@ -57,7 +56,8 @@ from ..workloads.loadshapes import (
     synthesize_request_trace,
 )
 from ..workloads.webserver import QOS_GOOD, QOS_TOLERABLE
-from .experiment import _measure_rack, _offered_load, _FleetRun
+from .cells import rack_cell_spec, run_cells
+from .experiment import _offered_load, _FleetRun
 from .scheduling.registry import POLICY_NAMES
 
 #: Shape registry order is presentation order in the report.
@@ -191,17 +191,22 @@ class ScenariosResult:
     def shape_rows(self, shape: str) -> List[ScenarioRow]:
         return [row for row in self.rows if row.shape == shape]
 
-    def baseline_for(self, shape: str) -> ScenarioRow:
-        """The shape's reference cell: the first policy at ``p=0``."""
+    def baseline_for(self, shape: str) -> Optional[ScenarioRow]:
+        """The shape's reference cell (first policy at ``p=0``), or
+        None when it is absent — possible only under ``--keep-going``
+        when the baseline cell failed terminally."""
         for row in self.shape_rows(shape):
             if row.policy == self.policies[0] and row.p == 0.0:
                 return row
-        raise ConfigurationError(f"no baseline cell for shape {shape!r}")
+        return None
 
     def tradeoffs(self, shape: str) -> List[TradeoffPoint]:
         """One (temp reduction, QoS reduction) point per non-baseline
-        cell of ``shape`` that carries data."""
+        cell of ``shape`` that carries data (empty without a baseline
+        to score against)."""
         baseline = self.baseline_for(shape)
+        if baseline is None:
+            return []
         points = []
         for row in self.shape_rows(shape):
             if row is baseline:
@@ -399,6 +404,7 @@ def scenarios_experiment(
     window: Optional[float] = None,
     policy: Optional[str] = None,
     health_params: Optional[HealthParams] = None,
+    runner: Optional[Any] = None,
 ) -> ScenariosResult:
     """Sweep injection probability × load shape × scheduling policy.
 
@@ -412,7 +418,17 @@ def scenarios_experiment(
 
     Scoring: requests arriving in ``[warmup, duration - 5s)`` are
     pooled rack-wide and scored in half-open windows of ``window``
-    seconds (default: a fifth of the scoring span).
+    seconds (default: a fifth of the scoring span) *inside each cell*,
+    so only the window series — never the raw request log — crosses a
+    process boundary.
+
+    The grid cells are independent rack cells
+    (:mod:`repro.fleet.cells`): with a ``runner`` attached they fan
+    out through its pool/cache/journal stack (``--jobs`` results are
+    bit-identical to serial; a cached re-run replays the whole grid
+    without simulating), and under ``--keep-going`` a failed cell
+    drops its row — the frontier of a shape that lost its baseline is
+    simply empty.
     """
     if machines is None:
         machines = 16 if config.characterization_duration >= 300.0 else 2
@@ -443,7 +459,35 @@ def scenarios_experiment(
     # feeds round-robin in the plain fleet experiment).
     connections, think_time = 440, 11.0
     rate = machines * connections / think_time
-    trace_rng = RngRegistry(config.seed).stream("scenario-trace")
+
+    # One spec per grid cell, grid order = submission order = report
+    # order.  Each cell rebuilds its shape from the registry (the trace
+    # shape resynthesizes the identical frozen trace from the config
+    # seed) and scores its own SLO windows.
+    grid = [
+        (shape_name, policy_name, p)
+        for shape_name in shapes
+        for policy_name in policies
+        for p in p_values
+    ]
+    specs = []
+    for shape_name, policy_name, p in grid:
+        params: dict = dict(
+            machines=machines,
+            duration=duration,
+            warmup=warmup,
+            p=p,
+            idle_quantum=idle_quantum,
+            policy=policy_name,
+            shape=shape_name,
+            rate=rate,
+            health_per_machine=False,
+            slo_window=(score_start, score_end, window),
+        )
+        if health_params is not None:
+            params["health"] = health_params
+        specs.append(rack_cell_spec(config, **params))
+    cells = run_cells(runner, specs)
 
     metrics = _metrics_registry().scope("scenarios")
     result = ScenariosResult(
@@ -458,53 +502,22 @@ def scenarios_experiment(
         policies=list(policies),
         p_values=list(p_values),
     )
-    for shape_name in shapes:
-        # One arrival process per shape, shared by every cell: the
-        # trace shape is synthesized once (bit-identical replay), and
-        # the stochastic shapes draw from the balancer's own stream,
-        # which is identically seeded per rack.
-        arrivals = build_scenario_arrivals(
-            shape_name, rate=rate, duration=duration, rng=trace_rng
+    for (shape_name, policy_name, p), cell in zip(grid, cells):
+        if cell is None:
+            continue
+        result.idle_mean_temp = cell.idle_mean_temp
+        result.rows.append(
+            ScenarioRow(
+                shape=shape_name,
+                policy=policy_name,
+                p=p,
+                run=cell.run,
+                report=cell.slo,
+                p95_response=cell.p95_response,
+                health=cell.health,
+            )
         )
-        for policy_name in policies:
-            for p in p_values:
-                measurement = _measure_rack(
-                    config,
-                    machines=machines,
-                    duration=duration,
-                    warmup=warmup,
-                    p=p,
-                    idle_quantum=idle_quantum,
-                    policy=policy_name,
-                    arrivals=arrivals,
-                    health_params=health_params,
-                )
-                result.idle_mean_temp = measurement.fleet.idle_mean_temp
-                pooled = measurement.pooled_requests()
-                report = score_windows(
-                    pooled, start=score_start, end=score_end, window=window
-                )
-                answered = sorted(
-                    r.response_time
-                    for r in pooled
-                    if score_start <= r.arrival < score_end
-                    and r.response_time is not None
-                )
-                p95 = (
-                    float(np.percentile(answered, 95.0)) if answered else None
-                )
-                result.rows.append(
-                    ScenarioRow(
-                        shape=shape_name,
-                        policy=policy_name,
-                        p=p,
-                        run=measurement.run,
-                        report=report,
-                        p95_response=p95,
-                        health=measurement.health.summary(per_machine=False),
-                    )
-                )
-                metrics.counter("racks").inc()
-                metrics.counter("windows").inc(len(report.windows))
-                metrics.counter("requests").inc(report.total_arrivals)
+        metrics.counter("racks").inc()
+        metrics.counter("windows").inc(len(cell.slo.windows))
+        metrics.counter("requests").inc(cell.slo.total_arrivals)
     return result

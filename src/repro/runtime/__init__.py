@@ -24,12 +24,13 @@ Fault injection for all of the above lives in :mod:`repro.faults`.
 See ``docs/running-experiments.md`` and ``docs/robustness.md``.
 """
 
-from .cache import CacheStats, ResultCache
+from .cache import CacheStats, ResultCache, register_result_codec
 from .failures import FailureReport, RunFailure
 from .hashing import (
     CACHE_SCHEMA_VERSION,
     code_fingerprint,
     config_hash,
+    fleet_fingerprint,
     freeze,
     spec_key,
 )
@@ -65,7 +66,9 @@ __all__ = [
     "code_fingerprint",
     "config_hash",
     "finite_cpuburn_spec",
+    "fleet_fingerprint",
     "freeze",
     "register_executor",
+    "register_result_codec",
     "spec_key",
 ]

@@ -29,7 +29,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Iterator, Optional, Union
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
 
 from ..telemetry.registry import registry as _metrics_registry
 from .hashing import CACHE_SCHEMA_VERSION
@@ -57,42 +57,86 @@ class CacheStats:
 
 
 class _SchemaMismatch(ValueError):
-    """Internal: the entry was written under a different schema version."""
+    """Internal: the entry was written under a different schema version
+    (or a result kind this process has no codec for — stale either way,
+    never quarantined as corrupt)."""
 
 
-def _encode(result: Any) -> dict:
-    """Serialise a result dataclass to a tagged JSON payload."""
+#: result type -> kind, and kind -> (encode, decode).  The built-in
+#: experiment result kinds register lazily (below); other layers —
+#: the fleet's rack cells — register theirs at import time through
+#: :func:`register_result_codec`.
+_ENCODER_KINDS: Dict[type, str] = {}
+_CODECS: Dict[str, Tuple[Callable[[Any], dict], Callable[[dict], Any]]] = {}
+
+
+def register_result_codec(
+    kind: str,
+    cls: type,
+    *,
+    encode: Callable[[Any], dict],
+    decode: Callable[[dict], Any],
+) -> None:
+    """Register a cacheable result type.
+
+    ``encode`` must produce a JSON-serialisable dict whose round trip
+    through ``json.dumps``/``json.loads`` and ``decode`` rebuilds a
+    result equal to the original — cached replay is only bit-identical
+    if the codec is.
+    """
+    _ENCODER_KINDS[cls] = kind
+    _CODECS[kind] = (encode, decode)
+
+
+def _ensure_builtin_codecs() -> None:
     # Imported here (not at module top) so the runtime package never
     # holds an import-time edge back into repro.experiments.
     from ..experiments.runner import CharacterizationResult, FiniteRunResult
 
-    kinds = {
-        CharacterizationResult: "characterization",
-        FiniteRunResult: "finite_cpuburn",
-    }
-    kind = kinds.get(type(result))
+    if CharacterizationResult not in _ENCODER_KINDS:
+        register_result_codec(
+            "characterization",
+            CharacterizationResult,
+            encode=dataclasses.asdict,
+            decode=lambda d: CharacterizationResult(**d),
+        )
+    if FiniteRunResult not in _ENCODER_KINDS:
+        register_result_codec(
+            "finite_cpuburn",
+            FiniteRunResult,
+            encode=dataclasses.asdict,
+            decode=lambda d: FiniteRunResult(**d),
+        )
+
+
+def _encode(result: Any) -> dict:
+    """Serialise a result to a tagged JSON payload via its codec."""
+    _ensure_builtin_codecs()
+    kind = _ENCODER_KINDS.get(type(result))
     if kind is None:
         raise TypeError(
             f"cannot cache a {type(result).__name__}; register a codec for it"
         )
+    encode, _ = _CODECS[kind]
     return {
         "schema": CACHE_SCHEMA_VERSION,
         "kind": kind,
-        "result": dataclasses.asdict(result),
+        "result": encode(result),
     }
 
 
 def _decode(payload: dict) -> Any:
-    """Rebuild a result dataclass from :func:`_encode` output."""
-    from ..experiments.runner import CharacterizationResult, FiniteRunResult
-
+    """Rebuild a result from :func:`_encode` output."""
+    _ensure_builtin_codecs()
     if payload.get("schema") != CACHE_SCHEMA_VERSION:
         raise _SchemaMismatch("cache schema mismatch")
-    classes = {
-        "characterization": CharacterizationResult,
-        "finite_cpuburn": FiniteRunResult,
-    }
-    return classes[payload["kind"]](**payload["result"])
+    codec = _CODECS.get(payload["kind"])
+    if codec is None:
+        # A valid entry written by a process that had more codecs
+        # loaded; stale for us, not corrupt — do not quarantine it.
+        raise _SchemaMismatch(f"no codec for result kind {payload['kind']!r}")
+    _, decode = codec
+    return decode(payload["result"])
 
 
 class ResultCache:

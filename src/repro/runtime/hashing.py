@@ -13,6 +13,14 @@ source determines simulation *outcomes* (see :data:`PHYSICS_MODULES`).
 Editing documentation, benchmarks, the CLI, or this runtime layer
 leaves every cached result valid; editing the scheduler or the thermal
 model invalidates the whole cache.
+
+Rack-cell runs (:mod:`repro.fleet.cells`) additionally depend on the
+fleet, scheduling, health, and SLO-analysis layers, which the base
+fingerprint deliberately excludes (editing them must not invalidate
+figure sweeps).  :func:`fleet_fingerprint` covers those packages
+(:data:`FLEET_MODULES`); rack-cell specs fold it in through
+:func:`spec_key`'s ``extra_code`` parameter, so a fleet code edit
+invalidates exactly the rack-cell entries and nothing else.
 """
 
 from __future__ import annotations
@@ -46,7 +54,19 @@ PHYSICS_MODULES = (
     "errors.py",
 )
 
+#: Paths (relative to the ``repro`` package) that rack-cell runs
+#: additionally depend on: the fleet layer (machines, balancers,
+#: scheduling policies, the experiments themselves), health monitoring,
+#: and the SLO scorer.  Kept separate from :data:`PHYSICS_MODULES` so
+#: editing the fleet layer never invalidates cached figure sweeps.
+FLEET_MODULES = (
+    "fleet",
+    "health",
+    "analysis",
+)
+
 _fingerprint_cache: Optional[str] = None
+_fleet_fingerprint_cache: Optional[str] = None
 
 
 def freeze(value: Any) -> Any:
@@ -80,18 +100,15 @@ def freeze(value: Any) -> Any:
     )
 
 
-def code_fingerprint() -> str:
-    """SHA-256 over the simulation-relevant source files (memoised).
+def _hash_modules(entries) -> str:
+    """SHA-256 over the named package source trees.
 
     Files are hashed in sorted relative-path order together with their
     paths, so renames and content edits both change the fingerprint.
     """
-    global _fingerprint_cache
-    if _fingerprint_cache is not None:
-        return _fingerprint_cache
     package_root = Path(__file__).resolve().parent.parent
     digest = hashlib.sha256()
-    for entry in PHYSICS_MODULES:
+    for entry in entries:
         path = package_root / entry
         if path.is_file():
             files = [path]
@@ -104,8 +121,29 @@ def code_fingerprint() -> str:
             digest.update(b"\0")
             digest.update(source.read_bytes())
             digest.update(b"\0")
-    _fingerprint_cache = digest.hexdigest()
+    return digest.hexdigest()
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the simulation-relevant source files (memoised)."""
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        _fingerprint_cache = _hash_modules(PHYSICS_MODULES)
     return _fingerprint_cache
+
+
+def fleet_fingerprint() -> str:
+    """SHA-256 over the fleet/health/analysis source files (memoised).
+
+    Folded into rack-cell cache keys (see :mod:`repro.fleet.cells`), so
+    editing a balancer, scheduling policy, health monitor, or the SLO
+    scorer invalidates cached rack cells without touching the far more
+    expensive figure-sweep entries.
+    """
+    global _fleet_fingerprint_cache
+    if _fleet_fingerprint_cache is None:
+        _fleet_fingerprint_cache = _hash_modules(FLEET_MODULES)
+    return _fleet_fingerprint_cache
 
 
 def config_hash(config: Any) -> str:
@@ -119,8 +157,16 @@ def config_hash(config: Any) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def spec_key(kind: str, config: Any, params: Any) -> str:
-    """The cache key for one run: hash of (schema, code, kind, inputs)."""
+def spec_key(
+    kind: str, config: Any, params: Any, *, extra_code: Optional[str] = None
+) -> str:
+    """The cache key for one run: hash of (schema, code, kind, inputs).
+
+    ``extra_code``, when given, is an additional code fingerprint the
+    run depends on (rack cells pass :func:`fleet_fingerprint`).  It is
+    folded into the document only when present, so keys of runs without
+    one are unchanged from earlier layouts.
+    """
     document = {
         "schema": CACHE_SCHEMA_VERSION,
         "code": code_fingerprint(),
@@ -128,5 +174,7 @@ def spec_key(kind: str, config: Any, params: Any) -> str:
         "config": freeze(config),
         "params": freeze(params),
     }
+    if extra_code is not None:
+        document["extra_code"] = extra_code
     blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

@@ -41,8 +41,11 @@ embarrassingly parallel.  :class:`ParallelRunner` guarantees:
   :class:`~repro.telemetry.MetricsRegistry`; the per-run snapshot is
   serialised back from the worker (or taken in-process for serial
   runs) and merged into the registry that was current when the runner
-  was constructed.  Failed attempts are discarded, not merged, so
-  retries never double-count.
+  was constructed.  Snapshots are merged in *submission order* once
+  the batch settles — never in completion order — so float-valued
+  counters accumulate in the same order under any ``jobs`` and the
+  merged registry is bit-identical to a serial run.  Failed attempts
+  are discarded, not merged, so retries never double-count.
 
 Fault injection (:mod:`repro.faults`) plugs in through the
 ``fault_plan`` argument: the plan is resolved against the batch size
@@ -91,10 +94,16 @@ class RunSpec:
     #: Excluded from equality and from :attr:`key`: an armed run is
     #: still the same run, cached under the same key.
     fault: Optional[FaultSpec] = field(default=None, compare=False)
+    #: Additional code fingerprint this run depends on beyond the base
+    #: physics fingerprint (rack cells carry the fleet fingerprint so a
+    #: fleet-layer edit invalidates exactly their cache entries).
+    extra_code: Optional[str] = None
 
     @property
     def key(self) -> str:
-        return spec_key(self.kind, self.config, dict(self.params))
+        return spec_key(
+            self.kind, self.config, dict(self.params), extra_code=self.extra_code
+        )
 
 
 def characterization_spec(config: Any, **params: Any) -> RunSpec:
@@ -131,6 +140,12 @@ def _resolve_executor(kind: str) -> Callable[..., Any]:
 
         _EXECUTORS.setdefault("characterization", run_characterization)
         _EXECUTORS.setdefault("finite_cpuburn", run_finite_cpuburn)
+    if kind == "rack-cell" and kind not in _EXECUTORS:
+        # Same lazy pattern for the fleet layer: importing the module
+        # registers the executor (needed in spawn-context workers,
+        # where the parent's registration is not inherited).
+        from ..fleet import cells  # noqa: F401 - import registers the kind
+
     try:
         return _EXECUTORS[kind]
     except KeyError:
@@ -143,10 +158,18 @@ def execute_spec(spec: RunSpec) -> Any:
 
 
 def _payload_digest(result: Any) -> str:
-    """Integrity digest of a result: sha256 over its canonical pickle."""
-    return hashlib.sha256(
-        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-    ).hexdigest()
+    """Integrity digest of a result: sha256 over its canonical pickle.
+
+    One dump/load round trip first: a raw pickle is not canonical when
+    the producer's object graph shares interned strings (e.g. a field
+    name that also appears as a plain dict key) — crossing the process
+    boundary breaks that sharing, which changes the bytes but not the
+    value.  The round-tripped graph is a fixed point, so producer and
+    verifier digest the same bytes whenever the *values* agree.
+    """
+    blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = pickle.dumps(pickle.loads(blob), protocol=pickle.HIGHEST_PROTOCOL)
+    return hashlib.sha256(blob).hexdigest()
 
 
 def _execute_attempt(spec: RunSpec) -> Tuple[Any, Dict[str, Any], str]:
@@ -411,6 +434,11 @@ class ParallelRunner:
         self._metric_scope.counter("submitted").inc(total)
         results: List[Any] = [None] * total
         state = {"done": 0}
+        #: index -> per-run metrics snapshot; merged in submission
+        #: order after the batch settles so the merged registry is
+        #: bit-identical for any jobs count (float sums are
+        #: order-sensitive; completion order is not deterministic).
+        snapshots: Dict[int, Dict[str, Any]] = {}
         replayable = self.journal.replayable if self.journal is not None else frozenset()
 
         # ------------------------------------------------------------------
@@ -425,7 +453,7 @@ class ParallelRunner:
             self._metric_scope.counter("executed").inc()
             self._metric_scope.counter("completed").inc()
             if snapshot is not None:
-                self.registry.merge(snapshot)
+                snapshots[task.index] = snapshot
             if task.key is not None and self.cache is not None:
                 self.cache.put(task.key, result)
                 self.metrics.cache_stores += 1
@@ -523,7 +551,10 @@ class ParallelRunner:
         finally:
             # Whatever happens — ExecutionError, KeyboardInterrupt — the
             # journal must reflect every completion already achieved, so
-            # a subsequent --resume picks them up.
+            # a subsequent --resume picks them up; and every completed
+            # run's telemetry lands in the registry, in submission order.
+            for index in sorted(snapshots):
+                self.registry.merge(snapshots[index])
             if self.journal is not None:
                 self.journal.flush()
         return results

@@ -212,11 +212,11 @@ def test_fleet_telemetry_counts_chip_substeps_additively():
 # ======================================================================
 # The CLI experiment
 # ======================================================================
-def test_fleet_experiment_registered_as_serial():
+def test_fleet_experiment_registered_as_batch():
     assert "fleet" in EXPERIMENTS
     _, func = EXPERIMENTS["fleet"]
     assert func is fleet_experiment
-    assert not supports_runner(func)
+    assert supports_runner(func)
 
 
 def test_fleet_experiment_smoke():
@@ -361,8 +361,8 @@ def test_fleet_compare_experiment_smoke():
     assert by_name["dimetrodon"].run.mean_temp < by_name["baseline"].run.mean_temp
 
 
-def test_fleet_compare_registered_as_serial():
+def test_fleet_compare_registered_as_batch():
     assert "fleet-compare" in EXPERIMENTS
     _, func = EXPERIMENTS["fleet-compare"]
     assert func is fleet_compare_experiment
-    assert not supports_runner(func)
+    assert supports_runner(func)

@@ -1,0 +1,206 @@
+"""Tests for rack cells: the fleet experiments' batchable unit of work.
+
+Covers the cache-key contract (every cell parameter and the fleet code
+fingerprint participate; the physics fingerprint alone does not pick up
+fleet edits), the JSON cache codec round trip, and the equivalence
+guarantees: runner path == direct call, pooled == serial, cached
+replay == fresh execution with zero simulations.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.experiments import fast_config
+from repro.fleet.cells import (
+    RACK_CELL_KIND,
+    RackCellResult,
+    rack_cell_spec,
+    require_cells,
+    run_cells,
+    run_rack_cell,
+)
+from repro.health import HealthParams
+from repro.runtime import ParallelRunner, ResultCache, fleet_fingerprint
+from repro.runtime.hashing import FLEET_MODULES, PHYSICS_MODULES
+from repro.runtime.parallel import execute_spec
+
+#: One tiny rack cell: enough simulated time for a QoS window
+#: (warmup 1s + scoring span + 5s drain) but cheap enough to run
+#: several times per test module.
+CELL = dict(machines=1, duration=8.0, warmup=1.0, p=0.5, idle_quantum=0.05)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return fast_config(0)
+
+
+# ======================================================================
+# Cache-key sensitivity
+# ======================================================================
+def test_identical_cells_share_a_key(config):
+    assert rack_cell_spec(config, **CELL).key == rack_cell_spec(config, **CELL).key
+
+
+@pytest.mark.parametrize(
+    "change",
+    [
+        {"p": 0.6},
+        {"idle_quantum": 0.025},
+        {"machines": 2},
+        {"duration": 9.0},
+        {"policy": "coolest"},
+        {"shape": "diurnal", "rate": 40.0},
+        {"health": HealthParams(warning_rise=2.0)},
+        {"health_per_machine": False},
+        {"slo_window": (1.0, 3.0, 1.0)},
+        {"dvfs_min": True},
+        {"tcc_duty": 0.5},
+        {"heat_and_run": True},
+    ],
+)
+def test_every_cell_parameter_changes_the_key(config, change):
+    assert (
+        rack_cell_spec(config, **CELL).key
+        != rack_cell_spec(config, **{**CELL, **change}).key
+    )
+
+
+def test_seed_changes_the_key(config):
+    other = fast_config(1)
+    assert rack_cell_spec(config, **CELL).key != rack_cell_spec(other, **CELL).key
+
+
+def test_fleet_code_edit_invalidates_rack_cells_only(config, monkeypatch):
+    """A fleet-layer edit must change rack-cell keys without touching
+    the figure sweeps', whose entries are far more expensive."""
+    from repro.runtime import characterization_spec, hashing
+
+    cell_before = rack_cell_spec(config, **CELL).key
+    sweep_before = characterization_spec(config, p=0.5).key
+    monkeypatch.setattr(hashing, "_fleet_fingerprint_cache", "0" * 64)
+    assert rack_cell_spec(config, **CELL).key != cell_before
+    assert characterization_spec(config, p=0.5).key == sweep_before
+
+
+def test_fleet_fingerprint_is_distinct_from_physics(config):
+    from repro.runtime import code_fingerprint
+
+    assert fleet_fingerprint() != code_fingerprint()
+    assert len(fleet_fingerprint()) == 64
+    # The two module sets must not overlap: an edit belongs to exactly
+    # one fingerprint, so it invalidates exactly one class of entries.
+    assert not set(FLEET_MODULES) & set(PHYSICS_MODULES)
+    assert rack_cell_spec(config, **CELL).extra_code == fleet_fingerprint()
+
+
+# ======================================================================
+# Execution and the cache codec
+# ======================================================================
+@pytest.fixture(scope="module")
+def cell_result(config):
+    return run_rack_cell(
+        config, **CELL, shape="constant", rate=40.0, slo_window=(1.0, 3.0, 1.0)
+    )
+
+
+def test_run_rack_cell_measures_a_rack(cell_result):
+    assert cell_result.run.requests > 0
+    assert cell_result.run.mean_temp > cell_result.idle_mean_temp
+    assert cell_result.substeps > 0
+    assert cell_result.advance_wall_s > 0
+    assert cell_result.slo is not None and len(cell_result.slo.windows) > 0
+    assert cell_result.health is not None and "totals" in cell_result.health
+
+
+def test_cell_result_is_plain_data(cell_result):
+    """No numpy scalars anywhere: the JSON codec must round-trip the
+    exact values, and ``json.dump`` rejects numpy types outright."""
+
+    def check(value, path):
+        if isinstance(value, dict):
+            for key, item in value.items():
+                check(item, f"{path}.{key}")
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                check(item, f"{path}[{i}]")
+        elif value is not None:
+            assert type(value) in (bool, int, float, str), (path, type(value))
+
+    check(dataclasses.asdict(cell_result), "result")
+
+
+def test_cache_round_trip_is_bit_identical(cell_result, tmp_path):
+    cache = ResultCache(tmp_path)
+    spec_key = "ab" * 32
+    cache.put(spec_key, cell_result)
+    loaded = cache.get(spec_key)
+    assert isinstance(loaded, RackCellResult)
+    assert loaded == cell_result
+    assert cache.stats.hits == 1 and cache.stats.corrupt == 0
+
+
+def _comparable(result):
+    """A fresh run's wall seconds are nondeterministic (everything else
+    is simulated); zero them so ``==`` compares simulation outcomes."""
+    return dataclasses.replace(result, advance_wall_s=0.0)
+
+
+def test_runner_path_equals_direct_call(config):
+    spec = rack_cell_spec(config, **CELL)
+    direct = execute_spec(spec)
+    [via_runner] = ParallelRunner(jobs=1).run([spec])
+    assert _comparable(direct) == _comparable(via_runner)
+    [rerun] = run_cells(None, [spec])
+    assert _comparable(rerun) == _comparable(direct)
+
+
+def test_pooled_cells_match_serial(config):
+    specs = [rack_cell_spec(config, **{**CELL, "p": p}) for p in (0.0, 0.5)]
+    serial = ParallelRunner(jobs=1).run(specs)
+    pooled = ParallelRunner(jobs=2).run(specs)
+    assert [_comparable(r) for r in serial] == [_comparable(r) for r in pooled]
+
+
+def test_cached_replay_executes_nothing(config, tmp_path):
+    spec = rack_cell_spec(config, **CELL)
+    warm = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+    [fresh] = warm.run([spec])
+    assert warm.metrics.executed == 1 and warm.metrics.cache_stores == 1
+
+    replay = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+    [cached] = replay.run([spec])
+    assert replay.metrics.executed == 0 and replay.metrics.cache_hits == 1
+    assert cached == fresh
+
+
+def test_unknown_result_kind_is_schema_stale_not_corrupt(tmp_path):
+    """An entry written by a process with more codecs loaded must not
+    be quarantined: for this process it is stale, not garbage."""
+    import json
+
+    cache = ResultCache(tmp_path)
+    key = "cd" * 32
+    path = cache.path(key)
+    path.parent.mkdir(parents=True)
+    path.write_text(
+        json.dumps({"schema": 1, "kind": "from-the-future", "result": {}})
+    )
+    assert cache.get(key) is None
+    assert cache.stats.schema_stale == 1
+    assert cache.stats.corrupt == 0 and cache.stats.quarantined == 0
+    assert path.exists()  # still there for the process that can read it
+
+
+def test_require_cells_raises_on_missing(config):
+    with pytest.raises(ExecutionError, match="baseline"):
+        require_cells("fleet", ["baseline", "injected"], [None, object()])
+    require_cells("fleet", ["baseline"], [object()])  # present: no error
+
+
+def test_rack_cell_executor_is_registered():
+    from repro.runtime.parallel import _resolve_executor
+
+    assert _resolve_executor(RACK_CELL_KIND) is run_rack_cell

@@ -6,12 +6,18 @@ Usage::
     python tools/profile_run.py fig2                 # top 25 by cumulative
     python tools/profile_run.py fig3 --top 40 --sort tottime
     python tools/profile_run.py smoke --json prof.json
+    python tools/profile_run.py fleet-compare --cell dimetrodon+migrate
 
 Runs the experiment exactly as ``python -m repro.cli`` would (fast
 config, serial runner, cache disabled so the simulations actually
 execute), wraps it in :mod:`cProfile`, and prints the top-N entries.
 With ``--json`` the same rows are written machine-readable, which is
 handy for diffing before/after an optimisation.
+
+``--cell NAME`` (fleet-compare only) profiles one technique's rack
+cell in isolation instead of the whole experiment — the grid is
+embarrassingly parallel, so single-cell cost is what an optimisation
+pass actually targets.
 
 See docs/performance.md for how this fits the perf workflow.
 """
@@ -33,6 +39,7 @@ except ImportError:  # pragma: no cover - import shim
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.cli import EXPERIMENTS, make_runner, run_experiment
+from repro.errors import ConfigurationError
 
 SORT_KEYS = ("cumulative", "tottime", "ncalls")
 
@@ -44,6 +51,44 @@ def profile_experiment(name: str, *, seed: int = 0, full: bool = False) -> pstat
     profiler.enable()
     try:
         run_experiment(name, seed=seed, full=full, runner=runner)
+    finally:
+        profiler.disable()
+    return pstats.Stats(profiler)
+
+
+def profile_cell(cell: str, *, seed: int = 0, full: bool = False) -> pstats.Stats:
+    """Profile one fleet-compare technique's rack cell in isolation.
+
+    ``cell`` is a technique name from
+    :func:`repro.fleet.compare.techniques`; the cell is built through
+    the same spec path the experiment submits to the batch runner, and
+    executed in-process so every simulated event is in the profile.
+    """
+    from repro.experiments import fast_config, full_config
+    from repro.fleet.compare import technique_specs
+    from repro.runtime.parallel import execute_spec
+    from repro.workloads.webserver import QOS_TOLERABLE
+
+    config = full_config(seed) if full else fast_config(seed)
+    warmup = 5.0
+    roster, specs = technique_specs(
+        config,
+        machines=64 if config.characterization_duration >= 300.0 else 4,
+        duration=warmup + config.measure_window + QOS_TOLERABLE,
+        warmup=warmup,
+        p=0.65,
+        idle_quantum=0.050,
+    )
+    by_name = {t.name: spec for t, spec in zip(roster, specs)}
+    if cell not in by_name:
+        raise ConfigurationError(
+            f"unknown technique cell {cell!r} "
+            f"(known: {', '.join(t.name for t in roster)})"
+        )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        execute_spec(by_name[cell])
     finally:
         profiler.disable()
     return pstats.Stats(profiler)
@@ -76,9 +121,30 @@ def main(argv=None) -> int:
     parser.add_argument("--top", type=int, default=25, help="number of entries to report")
     parser.add_argument("--sort", choices=SORT_KEYS, default="cumulative", help="profile sort key")
     parser.add_argument("--json", type=Path, default=None, help="also write the rows as JSON here")
+    parser.add_argument(
+        "--cell",
+        metavar="NAME",
+        default=None,
+        help="profile a single rack cell of fleet-compare (a technique "
+        "name, e.g. 'dimetrodon+migrate') instead of the whole grid",
+    )
     args = parser.parse_args(argv)
 
-    stats = profile_experiment(args.experiment, seed=args.seed, full=args.full)
+    if args.cell is not None and args.experiment != "fleet-compare":
+        print(
+            f"error: --cell profiles one fleet-compare technique cell; "
+            f"it does not apply to {args.experiment!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cell is not None:
+        try:
+            stats = profile_cell(args.cell, seed=args.seed, full=args.full)
+        except ConfigurationError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        stats = profile_experiment(args.experiment, seed=args.seed, full=args.full)
 
     out = io.StringIO()
     stats.stream = out
@@ -88,6 +154,7 @@ def main(argv=None) -> int:
     if args.json is not None:
         payload = {
             "experiment": args.experiment,
+            "cell": args.cell,
             "seed": args.seed,
             "full": args.full,
             "sort": args.sort,
